@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, asserts
+its qualitative checks, and writes the rendered result to
+``results/<name>.txt``.  Set ``REPRO_FULL=1`` to run at full scale
+(slower, closer to the paper's parameters).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.harness.experiments import FULL, QUICK, ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def get_scale():
+    return FULL if os.environ.get("REPRO_FULL") == "1" else QUICK
+
+
+def record(result: ExperimentResult, name: str) -> ExperimentResult:
+    """Persist the rendered experiment and echo it to the report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = result.render()
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    print()
+    print(rendered)
+    return result

@@ -1,0 +1,23 @@
+"""Ablation benchmarks: every §7.1 design decision is load-bearing."""
+
+from repro.harness.experiments import (
+    run_ablation_performance,
+    run_ablation_security,
+)
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_ablation_security(benchmark):
+    result = benchmark.pedantic(run_ablation_security, rounds=1, iterations=1)
+    record(result, "ablation_security")
+    assert result.all_checks_pass, result.render()
+
+
+def test_ablation_performance(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_ablation_performance, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "ablation_performance")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,14 @@
+"""Fig. 10: idle-VM memory consumption — VUsion converges to KSM."""
+
+from repro.harness.experiments import run_fig10_idle_vms
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig10_idle_vms(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_fig10_idle_vms, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "fig10_idle_vms")
+    assert result.all_checks_pass, result.render()

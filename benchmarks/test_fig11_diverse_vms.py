@@ -1,0 +1,14 @@
+"""Fig. 11: 16 diverse VMs — similar fusion, THP mode trades capacity."""
+
+from repro.harness.experiments import run_fig11_diverse_vms
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig11_diverse_vms(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_fig11_diverse_vms, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "fig11_diverse_vms")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,14 @@
+"""Fig. 12: memory consumption while the Apache benchmark runs."""
+
+from repro.harness.experiments import run_fig12_apache_memory
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig12_apache_memory(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_fig12_apache_memory, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "fig12_apache_memory")
+    assert result.all_checks_pass, result.render()

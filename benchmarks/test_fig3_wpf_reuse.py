@@ -1,0 +1,13 @@
+"""Fig. 3: WPF's near-perfect cross-pass frame reuse (vs. VUsion's none)."""
+
+from repro.harness.experiments import run_fig3_wpf_reuse
+
+from benchmarks.conftest import record
+
+
+def test_fig3_wpf_reuse(benchmark):
+    result = benchmark.pedantic(run_fig3_wpf_reuse, rounds=1, iterations=1)
+    record(result, "fig3_wpf_reuse")
+    assert result.all_checks_pass, result.render()
+    assert result.notes["wpf"] >= 0.9
+    assert result.notes["vusion"] <= 0.1

@@ -1,0 +1,14 @@
+"""Fig. 4: copy-on-access barely reduces fusion; zero-pages are not enough."""
+
+from repro.harness.experiments import run_fig4_coa_vs_cow
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig4_coa_vs_cow(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_fig4_coa_vs_cow, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "fig4_coa_vs_cow")
+    assert result.all_checks_pass, result.render()

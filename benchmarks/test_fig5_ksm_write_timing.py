@@ -1,0 +1,12 @@
+"""Fig. 5: bimodal write-timing distribution under KSM (the side channel)."""
+
+from repro.harness.experiments import run_fig5_ksm_write_timing
+
+from benchmarks.conftest import record
+
+
+def test_fig5_ksm_write_timing(benchmark):
+    result = benchmark.pedantic(run_fig5_ksm_write_timing, rounds=1, iterations=1)
+    record(result, "fig5_ksm_write_timing")
+    assert result.all_checks_pass, result.render()
+    assert result.notes["modes"] >= 2

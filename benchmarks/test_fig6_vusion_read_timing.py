@@ -1,0 +1,13 @@
+"""Fig. 6: unimodal read-timing distribution under VUsion (SB holds)."""
+
+from repro.harness.experiments import run_fig6_vusion_read_timing
+
+from benchmarks.conftest import record
+
+
+def test_fig6_vusion_read_timing(benchmark):
+    result = benchmark.pedantic(run_fig6_vusion_read_timing, rounds=1, iterations=1)
+    record(result, "fig6_vusion_read_timing")
+    assert result.all_checks_pass, result.render()
+    assert result.notes["ks_pvalue"] > 0.05
+    assert result.notes["modes"] == 1

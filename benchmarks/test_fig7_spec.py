@@ -1,0 +1,12 @@
+"""Fig. 7: SPEC CPU2006 overheads — small for KSM, a few % more for VUsion."""
+
+from repro.harness.experiments import run_fig7_spec
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig7_spec(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(run_fig7_spec, args=(scale,), rounds=1, iterations=1)
+    record(result, "fig7_spec")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,12 @@
+"""Fig. 8: PARSEC overheads — low, with THP enhancements competitive."""
+
+from repro.harness.experiments import run_fig8_parsec
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig8_parsec(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(run_fig8_parsec, args=(scale,), rounds=1, iterations=1)
+    record(result, "fig8_parsec")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,14 @@
+"""Fig. 9: VUsion THP conserves working-set huge pages under Apache."""
+
+from repro.harness.experiments import run_fig9_thp_conservation
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_fig9_thp_conservation(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_fig9_thp_conservation, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "fig9_thp_conservation")
+    assert result.all_checks_pass, result.render()

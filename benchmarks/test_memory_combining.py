@@ -1,0 +1,14 @@
+"""§10.1: swap-cache-only dedup misses substantial fusion opportunity."""
+
+from repro.harness.experiments import run_memory_combining
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_memory_combining_comparison(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_memory_combining, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "memory_combining")
+    assert result.all_checks_pass, result.render()

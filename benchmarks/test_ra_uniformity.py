@@ -1,0 +1,12 @@
+"""§9.1: VUsion's randomized allocations are uniform (KS test)."""
+
+from repro.harness.experiments import run_ra_uniformity
+
+from benchmarks.conftest import record
+
+
+def test_ra_uniformity(benchmark):
+    result = benchmark.pedantic(run_ra_uniformity, rounds=1, iterations=1)
+    record(result, "ra_uniformity")
+    assert result.all_checks_pass, result.render()
+    assert result.notes["pvalue"] > 0.05

@@ -1,0 +1,11 @@
+"""Table 1: every attack vs. its insecure target and vs. VUsion."""
+
+from repro.harness.experiments import run_table1_attack_matrix
+
+from benchmarks.conftest import record
+
+
+def test_table1_attack_matrix(benchmark):
+    result = benchmark.pedantic(run_table1_attack_matrix, rounds=1, iterations=1)
+    record(result, "table1_attack_matrix")
+    assert result.all_checks_pass, result.render()

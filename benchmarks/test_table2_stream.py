@@ -1,0 +1,14 @@
+"""Table 2: Stream bandwidth — fusion costs under ~2%."""
+
+from repro.harness.experiments import run_table2_stream
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_table2_stream(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_table2_stream, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "table2_stream")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,14 @@
+"""Table 3: fusion benefits come from idle pages (page cache + buddy)."""
+
+from repro.harness.experiments import run_table3_page_types
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_table3_page_types(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_table3_page_types, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "table3_page_types")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,14 @@
+"""Table 4: Postmark — fusion overhead stays in the low single digits."""
+
+from repro.harness.experiments import run_table4_postmark
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_table4_postmark(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_table4_postmark, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "table4_postmark")
+    assert result.all_checks_pass, result.render()

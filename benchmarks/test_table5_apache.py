@@ -1,0 +1,16 @@
+"""Table 5: Apache — KSM/VUsion lose throughput, VUsion THP recovers it."""
+
+from repro.harness.experiments import run_table5_apache
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_table5_apache(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_table5_apache, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "table5_apache")
+    assert result.all_checks_pass, result.render()
+    # Ordering: No Dedup fastest, VUsion THP recovers over KSM/VUsion.
+    assert result.notes["VUsion THP"] > result.notes["VUsion"]

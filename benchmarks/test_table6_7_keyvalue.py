@@ -1,0 +1,14 @@
+"""Tables 6/7: Redis and Memcached throughput and latency tails."""
+
+from repro.harness.experiments import run_table6_7_keyvalue
+
+from benchmarks.conftest import get_scale, record
+
+
+def test_table6_7_keyvalue(benchmark):
+    scale = get_scale()
+    result = benchmark.pedantic(
+        run_table6_7_keyvalue, args=(scale,), rounds=1, iterations=1
+    )
+    record(result, "table6_7_keyvalue")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Cloud memory consolidation across the four systems (paper Figs. 10/12).
+
+Boots four VMs from the same image under each configuration and tracks
+machine-wide memory consumption while fusion converges, then starts an
+Apache-style benchmark in one VM and watches memory grow with the
+worker pool.
+
+Run:  python examples/cloud_consolidation.py
+"""
+
+from repro.analysis.report import format_series
+from repro.harness.scenario import Scenario, STANDARD_CONFIGS
+from repro.params import MS, SECOND
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.vm_image import DISTRO_IMAGES
+
+
+def main() -> None:
+    image = DISTRO_IMAGES["debian"]
+    series = {}
+    for config in STANDARD_CONFIGS:
+        config = config.with_(min_idle_ns=150 * MS, khugepaged_period=250 * MS)
+        scenario = Scenario(config, frames=32768)
+        vms = [scenario.boot(image) for _ in range(4)]
+        scenario.run_sampling(6 * SECOND, SECOND)
+
+        workload = ApacheWorkload(vms[0])
+        for _ in range(4):
+            workload.run(800)
+            scenario.idle(SECOND)
+            scenario.sample()
+
+        saved = scenario.saved_frames()
+        print(f"{config.label:12s} final frames in use: "
+              f"{scenario.samples[-1].frames_in_use:6d}  saved: {saved:6d}")
+        series[config.label] = scenario.series("frames_in_use")
+
+    print()
+    print(format_series(series, title="memory consumption over time",
+                        value_label="frames in use"))
+
+
+if __name__ == "__main__":
+    main()

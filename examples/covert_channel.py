@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""A cross-VM covert channel over page fusion (paper §10.1).
+
+Two co-hosted VMs that cannot talk to each other exchange a message
+through the deduplication side channel: the sender writes agreed-upon
+codeword pages for 1-bits, the receiver later times writes to its own
+copies — slow copy-on-write means "merged", hence "1".
+
+Under VUsion the receiver's probes are indistinguishable copy-on-access
+faults and the channel collapses to coin flips.
+
+Run:  python examples/covert_channel.py
+"""
+
+from repro.attacks.base import AttackEnvironment
+from repro.attacks.covert_channel import DedupCovertChannel
+
+
+def show(engine_name: str) -> None:
+    env = AttackEnvironment(engine_name)
+    result = DedupCovertChannel(env, message_bits=16).run()
+    sent = "".join(map(str, result.evidence["message"]))
+    got = "".join(map(str, result.evidence["decoded"]))
+    print(f"=== covert channel over {engine_name.upper()} ===")
+    print(f"  sent:    {sent}")
+    print(f"  decoded: {got}")
+    print(f"  correct: {result.evidence['correct_bits']}/"
+          f"{result.evidence['total_bits']}"
+          f"  ({result.evidence['decode_bits_per_s']:.0f} bit/s decode rate)")
+    print(f"  -> {'CHANNEL WORKS' if result.success else 'channel destroyed'}\n")
+
+
+def main() -> None:
+    show("ksm")
+    show("vusion")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The huge-page / fusion-capacity trade-off and the adaptive policy (§8.1).
+
+VUsion's THP mode keeps a huge page whole when at least ``n`` of its
+512 base pages are active: ``n = 1`` favours performance, large ``n``
+favours fusion.  This example measures both ends of the dial on a
+partially-hot working set, then lets the SmartMD-style adaptive policy
+steer ``n`` from TLB-miss and memory-pressure feedback.
+
+Run:  python examples/thp_tradeoff.py
+"""
+
+from repro.analysis.metrics import count_huge_pages
+from repro.harness.scenario import Scenario, VUSION_THP_CONFIG
+from repro.kernel.adaptive_thp import AdaptiveThpConfig, AdaptiveThpPolicy
+from repro.params import MS, PAGE_SIZE, SECOND
+from repro.workloads.vm_image import DISTRO_IMAGES
+
+
+def run(threshold: int, adaptive: bool = False) -> None:
+    config = VUSION_THP_CONFIG.with_(
+        min_idle_ns=150 * MS,
+        khugepaged_period=250 * MS,
+        thp_active_threshold=threshold,
+    )
+    scenario = Scenario(config, frames=32768)
+    vms = [scenario.boot(DISTRO_IMAGES["debian"]) for _ in range(2)]
+    policy = None
+    if adaptive:
+        policy = AdaptiveThpPolicy(
+            scenario.kernel,
+            scenario.khugepaged,
+            AdaptiveThpConfig(period=SECOND, high_miss_rate=0.05, step=32),
+        )
+    # A partially-hot range: 96 of 512 page-cache pages stay active —
+    # more than the TLB covers as 4 KiB pages, fewer than a large n.
+    vm = vms[0]
+    cache = vm.region("page_cache")
+    for _ in range(60):
+        for index in range(96):
+            vm.process.read(cache.start + (index * 5 % 512) * PAGE_SIZE)
+        scenario.idle(200 * MS)
+    label = "adaptive" if adaptive else f"n={threshold}"
+    extra = ""
+    if policy is not None:
+        extra = f"  (threshold now {scenario.khugepaged.active_threshold}," \
+                f" {len(policy.adjustments)} adjustments)"
+    print(
+        f"{label:10s} huge pages: {count_huge_pages(scenario.kernel):2d}"
+        f"  frames saved: {scenario.saved_frames():5d}{extra}"
+    )
+
+
+def main() -> None:
+    print("partially-hot THP range under VUsion THP mode:\n")
+    run(threshold=1)     # performance end: conserve on any activity
+    run(threshold=256)   # capacity end: 96 active < 256 -> break & fuse
+    run(threshold=256, adaptive=True)  # TLB pressure steers n back down
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — a full-system reproduction of *Secure Page Fusion with VUsion*
+(Oliverio, Razavi, Bos, Giuffrida — SOSP 2017).
+
+The package simulates the complete memory-management stack the paper
+builds on (MMU, buddy allocator, LLC, DRAM/Rowhammer, a mini-kernel
+with THP support), implements the insecure page-fusion systems it
+studies (Linux KSM, Windows Page Fusion, zero-page-only fusion), the
+six attacks of Table 1, and VUsion itself — the secure engine enforcing
+Same Behaviour and Randomized Allocation.
+
+Quickstart::
+
+    from repro import Kernel, MachineSpec, Vusion
+
+    kernel = Kernel(MachineSpec(total_frames=16384))
+    kernel.attach_fusion(Vusion())
+    vm = kernel.create_process("vm0")
+    region = vm.mmap(64, mergeable=True)
+    ...
+"""
+
+from repro.core.vusion import Vusion
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.kernel.access import AccessKind, AccessResult
+from repro.kernel.kernel import Kernel
+from repro.kernel.khugepaged import Khugepaged
+from repro.kernel.process import Process
+from repro.params import (
+    CostModel,
+    FusionConfig,
+    MachineSpec,
+    VusionConfig,
+    WpfConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "CopyOnAccessKsm",
+    "CostModel",
+    "FusionConfig",
+    "Kernel",
+    "Khugepaged",
+    "Ksm",
+    "MachineSpec",
+    "Process",
+    "Vusion",
+    "VusionConfig",
+    "WindowsPageFusion",
+    "WpfConfig",
+    "ZeroPageFusion",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Measurement, statistics and report rendering."""
+
+from repro.analysis.metrics import (
+    MemorySample,
+    count_huge_pages,
+    fused_page_breakdown,
+)
+from repro.analysis.stats import (
+    distribution_summary,
+    histogram,
+    ks_2samp_pvalue,
+    ks_uniform_pvalue,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "MemorySample",
+    "count_huge_pages",
+    "distribution_summary",
+    "format_series",
+    "format_table",
+    "fused_page_breakdown",
+    "histogram",
+    "ks_2samp_pvalue",
+    "ks_uniform_pvalue",
+]

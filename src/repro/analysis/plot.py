@@ -1,0 +1,78 @@
+"""ASCII line charts for experiment time series.
+
+The paper's fusion-rate results are figures, not tables; this renderer
+draws multi-series charts in plain text so the benchmark outputs under
+``results/`` carry the curve shapes (convergence, crossovers, the
+one-round delay of VUsion in Fig. 10) and not just endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Markers assigned to series in order.
+MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series as a text chart with a legend."""
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1
+    if y_high == y_low:
+        y_high = y_low + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for index, (label, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in values:
+            place(x, y, marker)
+
+    top_label = f"{y_high:.0f}"
+    bottom_label = f"{y_low:.0f}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[{y_label}]")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + f" {x_low:.1f}"
+        + f"t(s) -> {x_high:.1f}".rjust(width - len(f"{x_low:.1f}"))
+    )
+    legend = "  ".join(
+        f"{MARKERS[index % len(MARKERS)]}={label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text table and time-series renderers for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table (paper-table style)."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    label_series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    value_label: str = "value",
+) -> str:
+    """Render aligned time series: one column per labelled curve."""
+    times = sorted({t for series in label_series.values() for t, _ in series})
+    lookup = {
+        label: dict(series) for label, series in label_series.items()
+    }
+    headers = [f"t(s)"] + list(label_series)
+    rows = []
+    for t in times:
+        row = [f"{t:.1f}"]
+        for label in label_series:
+            value = lookup[label].get(t)
+            row.append("-" if value is None else _cell(value))
+        rows.append(row)
+    heading = f"{title} [{value_label}]" if title else value_label
+    return format_table(headers, rows, title=heading)

@@ -1,0 +1,47 @@
+"""The six attacks of the paper's Table 1, runnable against any engine.
+
+| Attack                      | Abused mechanism | Mitigated by |
+|-----------------------------|------------------|--------------|
+| Copy-on-write timing        | Unmerge          | SB           |
+| Page color (new)            | Merge            | SB           |
+| Page sharing (new)          | Merge            | SB           |
+| Translation (new)           | Merge            | SB           |
+| Flip Feng Shui              | Merge            | RA           |
+| Reuse-based Flip Feng Shui  | Reuse            | RA           |
+"""
+
+from repro.attacks.base import Attack, AttackEnvironment, AttackResult
+from repro.attacks.covert_channel import DedupCovertChannel
+from repro.attacks.cow_timing import CowTimingAttack
+from repro.attacks.flip_feng_shui import FlipFengShuiAttack
+from repro.attacks.page_color import PageColorAttack
+from repro.attacks.page_sharing import PageSharingAttack
+from repro.attacks.prefetch import PrefetchAttack
+from repro.attacks.reuse_ffs import ReuseFlipFengShuiAttack
+from repro.attacks.translation import TranslationAttack
+
+ALL_ATTACKS = [
+    CowTimingAttack,
+    PageColorAttack,
+    PageSharingAttack,
+    TranslationAttack,
+    FlipFengShuiAttack,
+    ReuseFlipFengShuiAttack,
+    PrefetchAttack,
+    DedupCovertChannel,
+]
+
+__all__ = [
+    "ALL_ATTACKS",
+    "Attack",
+    "AttackEnvironment",
+    "AttackResult",
+    "CowTimingAttack",
+    "DedupCovertChannel",
+    "FlipFengShuiAttack",
+    "PageColorAttack",
+    "PageSharingAttack",
+    "PrefetchAttack",
+    "ReuseFlipFengShuiAttack",
+    "TranslationAttack",
+]

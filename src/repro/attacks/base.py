@@ -1,0 +1,176 @@
+"""Attack harness: environments, results and the attacker's contract.
+
+Attackers play by architectural rules only: they own processes, they
+read/write/fetch/flush/hammer *their own* virtual addresses, and they
+read the clock.  They never inspect kernel state (page tables, frame
+numbers, engine internals) — anything an attack needs it must infer
+through timing or content, exactly as on real hardware.  The *harness*
+may use kernel state afterwards to verify ground truth.
+
+Every information-disclosure attack is evaluated as a distinguishing
+game: the attacker holds one candidate page whose content duplicates a
+victim secret and one that does not, and wins iff her verdicts differ
+in the right direction.  Under an SB-enforcing engine both candidates
+behave identically, so the game is unwinnable.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.vusion import Vusion
+from repro.fusion.base import FusionEngine
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.params import (
+    FusionConfig,
+    MachineSpec,
+    MINUTE,
+    MS,
+    SECOND,
+    VusionConfig,
+    WpfConfig,
+)
+
+
+def _fast_scan() -> FusionConfig:
+    return FusionConfig(pages_per_scan=512, scan_interval=20 * MS)
+
+
+def _fast_vusion() -> VusionConfig:
+    return VusionConfig(random_pool_frames=2048, min_idle_ns=100 * MS)
+
+
+def _ablated_vusion(**overrides) -> Vusion:
+    from dataclasses import replace
+
+    return Vusion(replace(_fast_vusion(), **overrides), _fast_scan())
+
+
+def _memory_combining():
+    from repro.fusion.memory_combining import MemoryCombining
+
+    return MemoryCombining(_fast_scan(), swap_after_ns=200 * MS)
+
+
+ENGINE_FACTORIES: dict[str, Callable[[], FusionEngine | None]] = {
+    "none": lambda: None,
+    "ksm": lambda: Ksm(_fast_scan()),
+    "coa-ksm": lambda: CopyOnAccessKsm(_fast_scan()),
+    "wpf": lambda: WindowsPageFusion(WpfConfig(pass_interval=15 * MINUTE)),
+    "zeropage": lambda: ZeroPageFusion(_fast_scan()),
+    "memory-combining": lambda: _memory_combining(),
+    "vusion": lambda: Vusion(_fast_vusion(), _fast_scan()),
+    # Ablated VUsion variants: each drops one §7.1 design decision and
+    # re-opens a specific attack (see the ablation tests/benchmarks).
+    "vusion-nocd": lambda: _ablated_vusion(cache_disable_enabled=False),
+    "vusion-nodefer": lambda: _ablated_vusion(deferred_free_enabled=False),
+    "vusion-norerand": lambda: _ablated_vusion(rerandomize_each_scan=False),
+    "vusion-naive": lambda: _ablated_vusion(working_set_enabled=False),
+}
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run against one engine."""
+
+    attack: str
+    target: str
+    success: bool
+    mitigated_by: str
+    evidence: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "SUCCEEDED" if self.success else "defeated"
+        return f"{self.attack} vs {self.target}: {verdict}"
+
+
+class AttackEnvironment:
+    """A co-hosting scenario: one attacker, one victim, one engine.
+
+    The attacker process is created *first* so its madvised regions are
+    earlier in the scan order — KSM then keeps the first-scanned
+    party's frame when promoting an unstable match, which is the
+    ordering real Flip Feng Shui engineers by starting the attacker VM
+    before the victim's page appears.
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        frames: int = 16384,
+        seed: int = 1017,
+        thp_fault: bool = False,
+        row_vulnerability: float | None = None,
+    ) -> None:
+        if engine_name not in ENGINE_FACTORIES:
+            raise ValueError(f"unknown engine {engine_name!r}")
+        self.engine_name = engine_name
+        self.kernel = Kernel(
+            MachineSpec(total_frames=frames, seed=seed),
+            thp_fault_enabled=thp_fault,
+        )
+        if row_vulnerability is not None:
+            self.kernel.rowhammer.row_vulnerability = row_vulnerability
+        self.engine = ENGINE_FACTORIES[engine_name]()
+        if self.engine is not None:
+            self.kernel.attach_fusion(self.engine)
+        self.attacker: Process = self.kernel.create_process("attacker")
+        self.victim: Process = self.kernel.create_process("victim")
+        self.rng = random.Random(seed ^ 0x5EED)
+
+    # ------------------------------------------------------------------
+    # Time control
+    # ------------------------------------------------------------------
+    def wait_for_fusion(self, passes: int = 1) -> None:
+        """Give the engine enough time to complete ``passes`` rounds."""
+        if self.engine is None:
+            self.kernel.idle(passes * SECOND)
+            return
+        if isinstance(self.engine, WindowsPageFusion):
+            for _ in range(passes):
+                self.kernel.idle(self.engine.config.pass_interval + SECOND)
+            return
+        target = self.engine.stats.full_scans + passes
+        for _ in range(passes * 400):
+            if self.engine.stats.full_scans >= target:
+                break
+            self.kernel.idle(100 * MS)
+        # VUsion additionally needs the idle period to elapse; pad.
+        if isinstance(self.engine, Vusion):
+            self.kernel.idle(self.engine.wse.min_idle_ns * 2)
+            target = self.engine.stats.full_scans + 2
+            for _ in range(800):
+                if self.engine.stats.full_scans >= target:
+                    break
+                self.kernel.idle(100 * MS)
+
+
+class Attack(ABC):
+    """One attack from Table 1."""
+
+    name = "attack"
+    mitigated_by = "SB"
+
+    def __init__(self, env: AttackEnvironment) -> None:
+        self.env = env
+
+    @abstractmethod
+    def run(self) -> AttackResult:
+        """Execute the attack and report whether it succeeded."""
+
+    def result(self, success: bool, **evidence) -> AttackResult:
+        return AttackResult(
+            attack=self.name,
+            target=self.env.engine_name,
+            success=success,
+            mitigated_by=self.mitigated_by,
+            evidence=evidence,
+        )

@@ -1,0 +1,73 @@
+"""The classic copy-on-write timing side channel (§4.1, Fig. 5).
+
+The attacker crafts a page whose content she *guesses* exists in the
+victim, waits for fusion, then times a write.  If the page merged, the
+write takes a copy-on-write fault and is measurably slower than a
+plain store.  The attack is run as a distinguishing game between a
+correct and an incorrect guess.
+
+Against VUsion, every candidate page — merged or fake-merged — takes
+an identical copy-on-access fault, so both guesses look the same and
+the game is lost (SB).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.primitives import calibrate_write_baseline
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+
+
+class CowTimingAttack(Attack):
+    """Unmerge-based information disclosure via write timing."""
+
+    name = "cow-timing"
+    mitigated_by = "SB"
+
+    def __init__(self, env, samples: int = 8) -> None:
+        super().__init__(env)
+        self.samples = samples
+
+    def run(self) -> AttackResult:
+        env = self.env
+        secret = tagged_content("victim-secret", env.kernel.spec.seed)
+
+        # Attacker sprays her guesses first (earlier in scan order).
+        guesses = env.attacker.mmap(2 * self.samples, name="guesses", mergeable=True)
+        for index in range(self.samples):
+            correct = guesses.start + 2 * index * PAGE_SIZE
+            wrong = guesses.start + (2 * index + 1) * PAGE_SIZE
+            env.attacker.write(correct, secret)
+            env.attacker.write(wrong, tagged_content("wrong-guess", index))
+
+        # The victim holds the secret on idle pages.
+        victim_vma = env.victim.mmap(self.samples, name="secret", mergeable=True)
+        for index in range(self.samples):
+            env.victim.write(victim_vma.start + index * PAGE_SIZE, secret)
+
+        env.wait_for_fusion(passes=3)
+
+        baseline = calibrate_write_baseline(env.attacker)
+        threshold = 3 * baseline
+        correct_times = []
+        wrong_times = []
+        for index in range(self.samples):
+            correct = guesses.start + 2 * index * PAGE_SIZE
+            wrong = guesses.start + (2 * index + 1) * PAGE_SIZE
+            correct_times.append(env.attacker.rewrite(correct).latency)
+            wrong_times.append(env.attacker.rewrite(wrong).latency)
+
+        slow_correct = sum(1 for t in correct_times if t > threshold)
+        slow_wrong = sum(1 for t in wrong_times if t > threshold)
+        # The attacker learns the secret only if correct guesses are
+        # distinguishably slower than wrong ones.
+        success = slow_correct > self.samples // 2 and slow_wrong <= self.samples // 4
+        return self.result(
+            success,
+            baseline_ns=baseline,
+            correct_times=correct_times,
+            wrong_times=wrong_times,
+            slow_correct=slow_correct,
+            slow_wrong=slow_wrong,
+        )

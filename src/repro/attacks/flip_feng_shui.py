@@ -1,0 +1,97 @@
+"""Classic Flip Feng Shui against KSM-style merging (§4.2).
+
+1. **Template**: the attacker allocates a transparent huge page (512
+   physically-contiguous frames), double-side-hammers inside it and
+   scans her own memory for bit flips.
+2. **Massage**: she writes the victim's (known) sensitive content onto
+   a vulnerable subpage.  KSM backs the merge with the first-scanned
+   party's frame — hers.
+3. **Exploit**: she hammers the aggressor subpages around the
+   vulnerable frame.  The flip lands in the *shared* frame, corrupting
+   the victim's view of its own data without a single write.
+
+Against VUsion the merged copy lives on a frame drawn from the
+randomized pool — neither the templated frame nor anything adjacent to
+the attacker's aggressors — so the victim's data survives (RA).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.primitives import write_unique
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+
+class FlipFengShuiAttack(Attack):
+    """Merge-based physical memory massaging + Rowhammer."""
+
+    name = "flip-feng-shui"
+    mitigated_by = "RA"
+
+    #: Aggressor distance (in subpages) for a double-sided pair: two
+    #: row-strides of the default DRAM geometry.
+    AGGRESSOR_STRIDE = 32
+
+    def run(self) -> AttackResult:
+        env = self.env
+        if not env.kernel.thp_fault_enabled:
+            return self.result(False, error="environment lacks THP support")
+        attacker = env.attacker
+        secret = tagged_content("ffs-victim-key", env.kernel.spec.seed)
+
+        # -- Template ---------------------------------------------------
+        region = attacker.mmap(PAGES_PER_HUGE_PAGE, name="ffs", mergeable=True)
+        written = write_unique(attacker, region, env.rng, tag="ffs")
+        flips = self._template(region, written)
+        if not flips:
+            return self.result(False, error="no exploitable flips found")
+        victim_subpage = flips[0]
+
+        # -- Massage ----------------------------------------------------
+        attacker.write(region.start + victim_subpage * PAGE_SIZE, secret)
+        env.wait_for_fusion(passes=2)  # attacker's copy enters the trees
+        victim_vma = env.victim.mmap(1, name="ffs-victim", mergeable=True)
+        env.victim.write(victim_vma.start, secret)
+        env.wait_for_fusion(passes=3)  # the merge happens
+
+        merged = (
+            env.victim.address_space.page_table.walk(victim_vma.start).pte.fused
+        )
+
+        # -- Exploit ----------------------------------------------------
+        aggr_low = region.start + (victim_subpage - 16) * PAGE_SIZE
+        aggr_high = region.start + (victim_subpage + 16) * PAGE_SIZE
+        attacker.hammer(aggr_low, aggr_high, rounds=4)
+
+        seen = env.victim.read(victim_vma.start).content
+        success = seen != secret
+        return self.result(
+            success,
+            merged=merged,
+            victim_subpage=victim_subpage,
+            flips_found=len(flips),
+            corrupted=success,
+        )
+
+    def _template(self, region, written) -> list[int]:
+        """Hammer inside the THP; return subpages with observed flips.
+
+        Only flips with both aggressor subpages inside the region are
+        usable later, and the attacker verifies each flip by re-reading
+        her own memory and comparing against what she wrote.
+        """
+        attacker = self.env.attacker
+        stride = self.AGGRESSOR_STRIDE
+        for start in range(0, PAGES_PER_HUGE_PAGE - stride, stride // 2):
+            attacker.hammer(
+                region.start + start * PAGE_SIZE,
+                region.start + (start + stride) * PAGE_SIZE,
+                rounds=2,
+            )
+        flips = []
+        for index in range(PAGES_PER_HUGE_PAGE):
+            content = attacker.read(region.start + index * PAGE_SIZE).content
+            if content != written[index] and 16 <= index < PAGES_PER_HUGE_PAGE - 16:
+                flips.append(index)
+        return flips

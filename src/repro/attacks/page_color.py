@@ -1,0 +1,81 @@
+"""The new page-color attack (§5.1): PRIME+PROBE merge detection.
+
+The attacker learns the cache color of her candidate page by building
+an eviction set for it, waits for a fusion pass, and re-tests: if the
+page no longer conflicts with its old eviction set, its physical frame
+— and hence its color — changed, revealing a merge.  The attack only
+*reads*; it is effective against engines that back merges with new
+frames (WPF), succeeding with probability (colors-1)/colors.
+
+VUsion moves *every* scanned candidate to a new random frame (merged
+or fake merged) and unmerges on the attacker's first read, so the
+color changes regardless of merge status: the distinguishing game is
+lost.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.primitives import CacheProbe
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+
+
+class PageColorAttack(Attack):
+    """Merge-based disclosure via physical-address (color) changes."""
+
+    name = "page-color"
+    mitigated_by = "SB"
+
+    def __init__(self, env, pool_pages: int = 4096) -> None:
+        super().__init__(env)
+        self.pool_pages = pool_pages
+
+    def _color_changed(self, probe: CacheProbe, eviction_set, target: int) -> bool:
+        """PRIME+PROBE: did the target leave its old cache set?"""
+        probe.prime(eviction_set)
+        self.env.attacker.read(target)
+        misses = probe.probe(eviction_set)
+        # If the target still maps to this set, its access evicted one
+        # of the 16 primed lines -> at least one probe miss.
+        return misses == 0
+
+    def run(self) -> AttackResult:
+        env = self.env
+        secret = tagged_content("color-secret", env.kernel.spec.seed)
+
+        candidates = env.attacker.mmap(2, name="color-cand", mergeable=True)
+        correct = candidates.start
+        wrong = candidates.start + PAGE_SIZE
+        env.attacker.write(correct, secret)
+        env.attacker.write(wrong, tagged_content("color-wrong"))
+
+        victim_vma = env.victim.mmap(1, name="color-victim", mergeable=True)
+        env.victim.write(victim_vma.start, secret)
+
+        probe = CacheProbe(env.attacker, pool_pages=self.pool_pages)
+        es_correct = probe.build_eviction_set(correct)
+        es_wrong = probe.build_eviction_set(wrong)
+        if es_correct is None or es_wrong is None:
+            return self.result(False, error="could not build eviction sets")
+        # Sanity: before fusion, both pages still conflict with their sets.
+        baseline_correct = self._color_changed(probe, es_correct, correct)
+        baseline_wrong = self._color_changed(probe, es_wrong, wrong)
+
+        env.wait_for_fusion(passes=3)
+
+        moved_correct = self._color_changed(probe, es_correct, correct)
+        moved_wrong = self._color_changed(probe, es_wrong, wrong)
+        success = (
+            not baseline_correct
+            and not baseline_wrong
+            and moved_correct
+            and not moved_wrong
+        )
+        return self.result(
+            success,
+            es_sizes=(len(es_correct), len(es_wrong)),
+            baseline=(baseline_correct, baseline_wrong),
+            moved_correct=moved_correct,
+            moved_wrong=moved_wrong,
+        )

@@ -1,0 +1,72 @@
+"""The new page-sharing detection attack (§5.1): FLUSH+RELOAD on merge.
+
+If the attacker's guess page merged with the victim's secret page they
+share one physical frame.  The attacker flushes her copy from the LLC,
+induces victim activity, then reloads: a *fast* reload means the
+victim's access fetched the shared frame — a merge happened — without
+the attacker ever writing.
+
+Under VUsion no access to a fused page is possible without an
+unmerging copy-on-access (and CD-bit pages cannot even be prefetched
+into the cache), so the reload is slow for correct and wrong guesses
+alike.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+
+
+class PageSharingAttack(Attack):
+    """Merge-based disclosure via shared-frame cache hits."""
+
+    name = "page-sharing"
+    mitigated_by = "SB"
+
+    def __init__(self, env, samples: int = 6) -> None:
+        super().__init__(env)
+        self.samples = samples
+
+    def run(self) -> AttackResult:
+        env = self.env
+        secret = tagged_content("fr-secret", env.kernel.spec.seed)
+
+        guesses = env.attacker.mmap(2 * self.samples, name="fr-guess", mergeable=True)
+        for index in range(self.samples):
+            env.attacker.write(guesses.start + 2 * index * PAGE_SIZE, secret)
+            env.attacker.write(
+                guesses.start + (2 * index + 1) * PAGE_SIZE,
+                tagged_content("fr-wrong", index),
+            )
+        victim_vma = env.victim.mmap(self.samples, name="fr-victim", mergeable=True)
+        for index in range(self.samples):
+            env.victim.write(victim_vma.start + index * PAGE_SIZE, secret)
+
+        env.wait_for_fusion(passes=3)
+
+        hits_correct = 0
+        hits_wrong = 0
+        for index in range(self.samples):
+            correct = guesses.start + 2 * index * PAGE_SIZE
+            wrong = guesses.start + (2 * index + 1) * PAGE_SIZE
+            victim_page = victim_vma.start + index * PAGE_SIZE
+
+            env.attacker.clflush(correct)
+            env.victim.read(victim_page)  # induced victim activity
+            if env.attacker.read(correct).llc_hit:
+                hits_correct += 1
+
+            env.attacker.clflush(wrong)
+            env.victim.read(victim_page)
+            if env.attacker.read(wrong).llc_hit:
+                hits_wrong += 1
+
+        success = hits_correct > self.samples // 2 and hits_wrong <= self.samples // 4
+        return self.result(
+            success,
+            hits_correct=hits_correct,
+            hits_wrong=hits_wrong,
+            samples=self.samples,
+        )

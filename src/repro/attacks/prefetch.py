@@ -1,0 +1,123 @@
+"""Prefetch-based sharing detection (the §9.1 prefetch side channel).
+
+The x86 ``prefetch`` instruction loads a line into the cache without
+access-permission checks and without faulting (Gruss et al., CCS'16).
+An attacker can therefore probe the cache state of a page she cannot
+read:
+
+1. induce the victim to touch its secret page — under VUsion this is a
+   copy-on-access whose kernel copy pulls the *shared source frame*
+   into the LLC; under KSM it is a plain read of the shared frame;
+2. prefetch her own candidate page and time it: a fast (cached)
+   prefetch means her candidate is backed by the very frame the victim
+   just touched — a merge, detected without a single fault on the
+   candidate.
+
+VUsion defeats this by setting the Caching-Disabled bit on fused PTEs:
+the prefetch is silently dropped in constant time, so correct and
+wrong guesses are indistinguishable.  The ``vusion-nocd`` ablation
+re-opens the channel.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+
+
+class PrefetchAttack(Attack):
+    """Merge detection via permission-less prefetch timing."""
+
+    name = "prefetch-sharing"
+    mitigated_by = "SB"
+
+    def __init__(self, env, samples: int = 6, thrash_pages: int = 4096) -> None:
+        super().__init__(env)
+        self.samples = samples
+        self.thrash_pages = thrash_pages
+        self._thrash_vma = None
+
+    def _thrash(self) -> None:
+        """Evict stale lines with the attacker's own cache pressure.
+
+        Touching ``thrash_pages`` of her own pages (32 per page color)
+        cycles every leading-line cache set past its associativity, so
+        any previously-cached candidate line is gone before the next
+        measurement.
+        """
+        attacker = self.env.attacker
+        if self._thrash_vma is None:
+            self._thrash_vma = attacker.mmap(
+                self.thrash_pages, name="pf-thrash", mergeable=False
+            )
+            for index in range(self.thrash_pages):
+                attacker.write(
+                    self._thrash_vma.start + index * PAGE_SIZE,
+                    bytes([1 + index % 250]),
+                )
+            return
+        for vaddr in self._thrash_vma.pages():
+            attacker.read(vaddr)
+
+    def _calibrate_threshold(self) -> int:
+        """Midpoint between a cached and an uncached prefetch."""
+        attacker = self.env.attacker
+        calib = attacker.mmap(1, name="pf-calib", mergeable=False)
+        attacker.write(calib.start, b"calib\x01")
+        attacker.read(calib.start)
+        hit = attacker.prefetch(calib.start).latency
+        attacker.clflush(calib.start)
+        miss = attacker.prefetch(calib.start).latency
+        return (hit + miss) // 2
+
+    def run(self) -> AttackResult:
+        env = self.env
+        secrets = [
+            tagged_content("pf-secret", env.kernel.spec.seed, index)
+            for index in range(self.samples)
+        ]
+        guesses = env.attacker.mmap(
+            2 * self.samples, name="pf-guess", mergeable=True
+        )
+        victim_vma = env.victim.mmap(
+            2 * self.samples, name="pf-victim", mergeable=True
+        )
+        for index, secret in enumerate(secrets):
+            env.attacker.write(guesses.start + 2 * index * PAGE_SIZE, secret)
+            env.attacker.write(
+                guesses.start + (2 * index + 1) * PAGE_SIZE,
+                tagged_content("pf-wrong", index),
+            )
+            # Two victim copies of each secret: each measurement gets a
+            # fresh victim touch.
+            env.victim.write(victim_vma.start + 2 * index * PAGE_SIZE, secret)
+            env.victim.write(victim_vma.start + (2 * index + 1) * PAGE_SIZE, secret)
+
+        env.wait_for_fusion(passes=3)
+        threshold = self._calibrate_threshold()
+
+        hits_correct = 0
+        hits_wrong = 0
+        for index in range(self.samples):
+            correct = guesses.start + 2 * index * PAGE_SIZE
+            wrong = guesses.start + (2 * index + 1) * PAGE_SIZE
+            # Clean cache state, victim activity, timed prefetch.
+            self._thrash()
+            env.victim.read(victim_vma.start + 2 * index * PAGE_SIZE)
+            if env.attacker.prefetch(correct).latency < threshold:
+                hits_correct += 1
+            self._thrash()
+            env.victim.read(victim_vma.start + (2 * index + 1) * PAGE_SIZE)
+            if env.attacker.prefetch(wrong).latency < threshold:
+                hits_wrong += 1
+
+        success = (
+            hits_correct > self.samples // 2 and hits_wrong <= self.samples // 4
+        )
+        return self.result(
+            success,
+            hits_correct=hits_correct,
+            hits_wrong=hits_wrong,
+            threshold_ns=threshold,
+        )

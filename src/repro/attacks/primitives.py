@@ -1,0 +1,142 @@
+"""Attacker-side measurement primitives.
+
+Everything here works purely through a process's own memory accesses
+and the clock: latency calibration, TLB eviction, and timing-based
+eviction-set construction (the group-reduction algorithm of Oren et
+al. / Liu et al. used by the page-color attack).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.kernel.process import Process
+from repro.mmu.address_space import Vma
+from repro.params import PAGE_SIZE
+
+
+def write_unique(process: Process, vma: Vma, rng, tag: str = "u") -> list[bytes]:
+    """Fill a VMA with distinct contents; returns them in page order."""
+    contents = []
+    for index in range(vma.num_pages):
+        content = bytes(f"{tag}:{index}:", "ascii") + rng.randbytes(16) + b"\x01"
+        process.write(vma.start + index * PAGE_SIZE, content)
+        contents.append(process.read(vma.start + index * PAGE_SIZE).content)
+    return contents
+
+
+def calibrate_write_baseline(process: Process, samples: int = 16) -> int:
+    """Median latency of a plain (non-candidate) warm write."""
+    vma = process.mmap(samples, name="calib", mergeable=False)
+    times = []
+    for index in range(samples):
+        vaddr = vma.start + index * PAGE_SIZE
+        process.write(vaddr, b"calib" + bytes([index + 1]))
+        times.append(process.rewrite(vaddr).latency)
+    return int(statistics.median(times))
+
+
+def calibrate_read_baseline(process: Process, samples: int = 16) -> int:
+    """Median latency of a warm read (TLB hit + LLC hit)."""
+    vma = process.mmap(samples, name="calib-r", mergeable=False)
+    times = []
+    for index in range(samples):
+        vaddr = vma.start + index * PAGE_SIZE
+        process.write(vaddr, b"c" + bytes([index + 1]))
+        process.read(vaddr)
+        times.append(process.time_read(vaddr))
+    return int(statistics.median(times))
+
+
+class TlbEvictionSet:
+    """A pool of pages whose traversal flushes the victim's TLB set(s)."""
+
+    def __init__(self, process: Process, pages: int = 256) -> None:
+        self.process = process
+        self.vma = process.mmap(pages, name="tlb-evict", mergeable=False)
+        for index in range(pages):
+            process.write(self.vma.start + index * PAGE_SIZE, bytes([1 + index % 250]))
+
+    def evict(self) -> None:
+        """Touch every pool page, cycling all TLB sets several times."""
+        for vaddr in self.vma.pages():
+            self.process.read(vaddr)
+
+
+class CacheProbe:
+    """Timing-based LLC conflict testing over the attacker's own pages."""
+
+    def __init__(self, process: Process, pool_pages: int = 4096) -> None:
+        self.process = process
+        self.pool = process.mmap(pool_pages, name="probe-pool", mergeable=False)
+        for index in range(pool_pages):
+            process.write(self.pool.start + index * PAGE_SIZE, bytes([1 + index % 250]))
+        self.miss_threshold = self._calibrate()
+
+    def _calibrate(self) -> int:
+        """Latency threshold separating LLC hits from misses."""
+        vaddr = self.pool.start
+        self.process.read(vaddr)
+        hit = min(self.process.time_read(vaddr) for _ in range(4))
+        self.process.clflush(vaddr)
+        miss = self.process.time_read(vaddr)
+        return (hit + miss) // 2
+
+    def pool_addresses(self) -> list[int]:
+        return list(self.pool.pages())
+
+    def _warm_tlb(self, vaddr: int) -> None:
+        """Touch a *different cache line* of the same page.
+
+        Re-arms the page's TLB entry without touching the cache set of
+        the line being timed, so a timed load measures only LLC state.
+        Real attacks do the same with adjacent-line reads.
+        """
+        self.process.read(vaddr + 64)
+
+    def evicts(self, candidate_set: list[int], target: int) -> bool:
+        """Does accessing ``candidate_set`` evict ``target``?"""
+        self.process.read(target)
+        for vaddr in candidate_set:
+            self.process.read(vaddr)
+        self._warm_tlb(target)
+        return self.process.time_read(target) > self.miss_threshold
+
+    def build_eviction_set(self, target: int, max_size: int = 16) -> list[int] | None:
+        """Group-reduction eviction-set construction for ``target``.
+
+        Starts from the whole pool and repeatedly removes one of
+        ``ways + 1`` groups whose removal preserves eviction, down to
+        the associativity.  Returns None if the pool cannot evict the
+        target at all.
+        """
+        candidates = self.pool_addresses()
+        if not self.evicts(candidates, target):
+            return None
+        while len(candidates) > max_size:
+            group_count = max_size + 1
+            group_size = -(-len(candidates) // group_count)
+            reduced = False
+            for start in range(0, len(candidates), group_size):
+                trial = candidates[:start] + candidates[start + group_size:]
+                if trial and self.evicts(trial, target):
+                    candidates = trial
+                    reduced = True
+                    break
+            if not reduced:
+                # Cannot shrink further (measurement noise floor).
+                break
+        return candidates
+
+    def prime(self, eviction_set: list[int]) -> None:
+        for vaddr in eviction_set:
+            self.process.read(vaddr)
+
+    def probe(self, eviction_set: list[int]) -> int:
+        """Return how many eviction-set accesses missed the LLC."""
+        misses = 0
+        for vaddr in eviction_set:
+            self._warm_tlb(vaddr)
+            if self.process.time_read(vaddr) > self.miss_threshold:
+                misses += 1
+        return misses

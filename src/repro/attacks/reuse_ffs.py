@@ -1,0 +1,142 @@
+"""Reuse-based Flip Feng Shui against WPF-style allocators (§5.2, Fig. 3).
+
+WPF defeats classic FFS by backing merges with *new* frames — but its
+linear end-of-memory allocator reuses the same frames pass after pass,
+in content-hash order.  The attacker therefore:
+
+1. writes pair-wise duplicates and waits for a pass: her pages fuse
+   onto predictable, contiguous top-of-memory frames (rank ``k`` by
+   content hash → frame ``top - k``);
+2. templates by double-side-hammering *through her own fused pages*
+   (reads are allowed) and spots flips by re-reading her memory;
+3. unmerges everything (copy-on-write), then crafts a new content set
+   — fillers plus the victim's known sensitive content — whose hash
+   order places the sensitive content exactly at the vulnerable rank;
+4. after the next pass the shared frame sits on the templated cell;
+   hammering the neighbouring ranks corrupts the victim's data.
+
+Under VUsion the fused frames are drawn from the randomized pool: the
+rank→frame prediction fails, templating through fused pages triggers
+copy-on-access onto fresh random frames, and the victim's data
+survives (RA).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.mem.content import PageContent, content_digest
+from repro.params import PAGE_SIZE
+
+
+class ReuseFlipFengShuiAttack(Attack):
+    """Reuse-based physical memory massaging + Rowhammer."""
+
+    name = "reuse-ffs"
+    mitigated_by = "RA"
+
+    #: Number of pair-wise duplicated contents (= expected fused nodes).
+    PAIRS = 64
+    #: Rank distance whose frames sit two DRAM row-strides apart.
+    AGGRESSOR_RANK_DELTA = 16
+
+    def run(self) -> AttackResult:
+        env = self.env
+        attacker = env.attacker
+        rng = env.rng
+        secret = b"victim-rsa-key:" + rng.randbytes(16) + b"\x01"
+
+        # The victim's sensitive page exists (idle) from the start.
+        victim_vma = env.victim.mmap(1, name="rffs-victim", mergeable=True)
+        env.victim.write(victim_vma.start, secret)
+
+        region = attacker.mmap(
+            2 * self.PAIRS, name="rffs", mergeable=True, thp_allowed=False
+        )
+
+        # -- Phase 1: massage pair-wise duplicates into fused frames ----
+        contents = [
+            b"rffs:" + bytes([index]) + rng.randbytes(12) + b"\x01"
+            for index in range(self.PAIRS)
+        ]
+        self._write_pairs(region, contents)
+        env.wait_for_fusion(passes=3)
+
+        # -- Phase 2: template through the fused pages -------------------
+        rank_of = self._rank_map(contents)
+        va_of_rank = {
+            rank_of[index]: region.start + 2 * index * PAGE_SIZE
+            for index in range(self.PAIRS)
+        }
+        delta = self.AGGRESSOR_RANK_DELTA
+        for rank in range(self.PAIRS - 2 * delta):
+            attacker.hammer(va_of_rank[rank], va_of_rank[rank + 2 * delta], rounds=2)
+        flipped_ranks = [
+            rank_of[index]
+            for index in range(self.PAIRS)
+            if attacker.read(region.start + 2 * index * PAGE_SIZE).content
+            != contents[index]
+        ]
+        usable = [r for r in flipped_ranks if delta <= r < self.PAIRS - delta]
+        if not usable:
+            return self.result(False, error="no exploitable flips found")
+        target_rank = usable[0]
+
+        # -- Phase 3: unmerge and craft the hash-ordered layout ----------
+        fillers = self._craft_fillers(secret, target_rank, rng)
+        layout = fillers[:target_rank] + [secret] + fillers[target_rank:]
+        self._write_pairs(region, layout)  # CoW-unmerges phase-1 state
+        env.wait_for_fusion(passes=3)
+
+        # -- Phase 4: corrupt the victim's fused page --------------------
+        new_rank_of = self._rank_map(layout)
+        new_va = {
+            new_rank_of[index]: region.start + 2 * index * PAGE_SIZE
+            for index in range(self.PAIRS)
+        }
+        attacker.hammer(
+            new_va[target_rank - delta], new_va[target_rank + delta], rounds=4
+        )
+
+        seen = env.victim.read(victim_vma.start).content
+        success = seen != secret
+        return self.result(
+            success,
+            flips_found=len(flipped_ranks),
+            target_rank=target_rank,
+            corrupted=success,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers (all attacker-computable)
+    # ------------------------------------------------------------------
+    def _write_pairs(self, region, contents: list[PageContent]) -> None:
+        for index, content in enumerate(contents):
+            base = region.start + 2 * index * PAGE_SIZE
+            self.env.attacker.write(base, content)
+            self.env.attacker.write(base + PAGE_SIZE, content)
+
+    @staticmethod
+    def _rank_map(contents: list[PageContent]) -> dict[int, int]:
+        """index -> hash rank (the allocator's frame order)."""
+        order = sorted(range(len(contents)), key=lambda i: content_digest(contents[i]))
+        return {index: rank for rank, index in enumerate(order)}
+
+    def _craft_fillers(self, secret: PageContent, target_rank: int, rng):
+        """Generate fillers whose digests sandwich the secret at rank.
+
+        ``target_rank`` fillers hash below the secret and the rest
+        above — pure content crafting, no system knowledge needed.
+        """
+        secret_digest = content_digest(secret)
+        below: list[PageContent] = []
+        above: list[PageContent] = []
+        want_below = target_rank
+        want_above = self.PAIRS - 1 - target_rank
+        while len(below) < want_below or len(above) < want_above:
+            candidate = b"fill:" + rng.randbytes(14) + b"\x01"
+            digest = content_digest(candidate)
+            if digest < secret_digest and len(below) < want_below:
+                below.append(candidate)
+            elif digest > secret_digest and len(above) < want_above:
+                above.append(candidate)
+        return below + above

@@ -1,0 +1,87 @@
+"""The new translation attack (§5.1): detecting THP splits via walks.
+
+KSM breaks a transparent huge page when it merges a 4 KiB page inside
+it.  The split adds a page-table level to every neighbouring subpage's
+translation, which an attacker measures (AnC-style) by evicting the
+TLB and timing a warm-cache read: 4 walk levels instead of 3.
+
+The attacker plants a guess inside one THP and a non-matching filler
+in another; if only the guess THP's neighbours slow down, the guess
+content exists in the victim.
+
+VUsion breaks *every* idle THP before considering it for fusion, so a
+split reveals only idleness — both regions split, and the game is
+lost.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.primitives import TlbEvictionSet, write_unique
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+
+class TranslationAttack(Attack):
+    """Merge-based disclosure via MMU translation changes."""
+
+    name = "translation"
+    mitigated_by = "SB"
+
+    #: Subpage that carries the guess content.
+    GUESS_INDEX = 9
+
+    def __init__(self, env, repeats: int = 7) -> None:
+        super().__init__(env)
+        self.repeats = repeats
+
+    def _timed_neighbour_read(self, tlb_evictor: TlbEvictionSet, vaddr: int) -> int:
+        """Median latency of a TLB-cold, cache-warm read of ``vaddr``."""
+        times = []
+        for _ in range(self.repeats):
+            self.env.attacker.read(vaddr)  # warm the cache line (and page)
+            tlb_evictor.evict()
+            times.append(self.env.attacker.time_read(vaddr))
+        return int(statistics.median(times))
+
+    def _make_thp_region(self, name: str):
+        vma = self.env.attacker.mmap(
+            PAGES_PER_HUGE_PAGE, name=name, mergeable=True
+        )
+        write_unique(self.env.attacker, vma, self.env.rng, tag=name)
+        return vma
+
+    def run(self) -> AttackResult:
+        env = self.env
+        if not env.kernel.thp_fault_enabled:
+            return self.result(False, error="environment lacks THP support")
+        secret = tagged_content("thp-secret", env.kernel.spec.seed)
+
+        region_true = self._make_thp_region("thp-true")
+        region_false = self._make_thp_region("thp-false")
+        env.attacker.write(
+            region_true.start + self.GUESS_INDEX * PAGE_SIZE, secret
+        )
+
+        victim_vma = env.victim.mmap(1, name="thp-victim", mergeable=True)
+        env.victim.write(victim_vma.start, secret)
+
+        tlb_evictor = TlbEvictionSet(env.attacker)
+        env.wait_for_fusion(passes=3)
+
+        neighbour_true = region_true.start + (self.GUESS_INDEX + 1) * PAGE_SIZE
+        neighbour_false = region_false.start + (self.GUESS_INDEX + 1) * PAGE_SIZE
+        t_true = self._timed_neighbour_read(tlb_evictor, neighbour_true)
+        t_false = self._timed_neighbour_read(tlb_evictor, neighbour_false)
+
+        walk_step = env.kernel.costs.page_walk_per_level
+        # One extra translation level on the guess region only.
+        success = t_true - t_false >= walk_step // 2
+        return self.result(
+            success,
+            t_true=t_true,
+            t_false=t_false,
+            walk_step=walk_step,
+        )

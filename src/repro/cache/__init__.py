@@ -1,0 +1,6 @@
+"""Shared last-level cache model and the composite access-timing model."""
+
+from repro.cache.llc import LastLevelCache
+from repro.cache.timing import AccessTimer
+
+__all__ = ["AccessTimer", "LastLevelCache"]

@@ -1,0 +1,93 @@
+"""Physically-indexed, set-associative last-level cache.
+
+Shared between every process and VM on the machine, exactly like the
+LLC the paper's PRIME+PROBE and FLUSH+RELOAD attacks work over.  The
+default geometry matches the Xeon E3-1240 v5: 8 MiB, 16 ways, 8192 sets
+of 64-byte lines, hence 128 page colors (``pfn % 128``).
+
+Only presence/LRU state is modelled — contents live in
+:class:`~repro.mem.physmem.PhysicalMemory`.  An access's hit/miss
+outcome is the one-bit signal every cache side channel in the paper is
+built from.
+"""
+
+from __future__ import annotations
+
+from repro.params import CACHE_LINE_SIZE, CacheGeometry, LINES_PER_PAGE, PAGE_SIZE
+
+
+class LastLevelCache:
+    """LRU set-associative cache over physical line addresses."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_address(self, paddr: int) -> int:
+        return paddr // CACHE_LINE_SIZE
+
+    def set_index(self, paddr: int) -> int:
+        return self.line_address(paddr) % self.geometry.num_sets
+
+    def color_of_frame(self, pfn: int) -> int:
+        """Page color: which block of 64 consecutive sets the page covers."""
+        return pfn % self.geometry.num_colors
+
+    def sets_of_frame(self, pfn: int) -> range:
+        """The cache-set range covered by the 64 lines of frame ``pfn``."""
+        first = self.set_index(pfn * PAGE_SIZE)
+        return range(first, first + LINES_PER_PAGE)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def access(self, paddr: int) -> bool:
+        """Touch the line holding ``paddr``; return True on a hit."""
+        line = self.line_address(paddr)
+        cache_set = self._sets[line % self.geometry.num_sets]
+        if line in cache_set:
+            cache_set.remove(line)
+            cache_set.append(line)
+            self.hits += 1
+            return True
+        if len(cache_set) >= self.geometry.ways:
+            cache_set.pop(0)
+        cache_set.append(line)
+        self.misses += 1
+        return False
+
+    def probe(self, paddr: int) -> bool:
+        """Like :meth:`access` but without allocating on a miss.
+
+        Models a timing probe where the attacker only cares about the
+        hit/miss outcome of a single load (FLUSH+RELOAD's RELOAD step
+        still allocates; use :meth:`access` for that).
+        """
+        line = self.line_address(paddr)
+        cache_set = self._sets[line % self.geometry.num_sets]
+        return line in cache_set
+
+    def flush_line(self, paddr: int) -> None:
+        """``clflush``: evict the line holding ``paddr`` if present."""
+        line = self.line_address(paddr)
+        cache_set = self._sets[line % self.geometry.num_sets]
+        if line in cache_set:
+            cache_set.remove(line)
+
+    def flush_frame(self, pfn: int) -> None:
+        """Flush all 64 lines of frame ``pfn``."""
+        base = pfn * PAGE_SIZE
+        for offset in range(0, PAGE_SIZE, CACHE_LINE_SIZE):
+            self.flush_line(base + offset)
+
+    def contains_line(self, paddr: int) -> bool:
+        line = self.line_address(paddr)
+        return line in self._sets[line % self.geometry.num_sets]
+
+    def set_occupancy(self, set_index: int) -> int:
+        return len(self._sets[set_index])

@@ -1,0 +1,61 @@
+"""Composite memory-access timing: TLB + page walk + LLC + DRAM.
+
+Each architectural access is charged a latency composed from the
+:class:`~repro.params.CostModel`.  The decomposition keeps every side
+channel of the paper alive:
+
+* TLB miss cost scales with the number of page-walk levels, so a split
+  THP (4 levels) is measurably slower than an intact one (3 levels).
+* An LLC hit is much cheaper than DRAM, so PRIME+PROBE (set contention)
+  and FLUSH+RELOAD (shared-line reload) see their signals.
+* Uncached (CD-bit) accesses always pay the uncached latency and never
+  allocate in the LLC — VUsion's prefetch-attack countermeasure.
+* DRAM row-buffer hits vs. misses are modelled per bank.
+"""
+
+from __future__ import annotations
+
+from repro.cache.llc import LastLevelCache
+from repro.dram.geometry import DramMapper
+from repro.params import CostModel
+
+
+class AccessTimer:
+    """Charges latencies for physical accesses and tracks DRAM rows."""
+
+    def __init__(
+        self, costs: CostModel, llc: LastLevelCache, dram: DramMapper
+    ) -> None:
+        self.costs = costs
+        self.llc = llc
+        self.dram = dram
+        #: Per-bank open row (row-buffer state).
+        self._open_rows: dict[int, int] = {}
+
+    def dram_access(self, pfn: int) -> int:
+        """Access DRAM for frame ``pfn``; returns latency (row hit/miss)."""
+        bank, row = self.dram.bank_and_row(pfn)
+        if self._open_rows.get(bank) == row:
+            return self.costs.dram_row_hit
+        self._open_rows[bank] = row
+        return self.costs.dram_row_miss
+
+    def memory_access(self, paddr: int, cacheable: bool) -> int:
+        """Charge one data access to physical address ``paddr``.
+
+        Uncached accesses bypass the LLC entirely (they can neither hit
+        nor allocate) but still open DRAM rows — reading an uncacheable
+        page still hammers.
+        """
+        pfn = paddr // 4096
+        if not cacheable:
+            return self.costs.uncached_access + self.dram_access(pfn)
+        if self.llc.access(paddr):
+            return self.costs.llc_hit
+        return self.costs.llc_hit + self.dram_access(pfn)
+
+    def translation(self, hit: bool, levels: int) -> int:
+        """Charge address translation: TLB hit, or a page walk."""
+        if hit:
+            return self.costs.tlb_hit
+        return self.costs.tlb_hit + levels * self.costs.page_walk_per_level

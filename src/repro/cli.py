@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``       — show every reproducible experiment and attack.
+* ``experiment`` — regenerate one table/figure (``--full`` for the
+  larger paper-scale parameters, ``--seed`` for reproducibility).
+* ``attack``     — run one attack against one fusion engine.
+* ``matrix``     — run the full Table 1 attack matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks import ALL_ATTACKS, AttackEnvironment
+from repro.attacks.base import ENGINE_FACTORIES
+from repro.harness.experiments import EXPERIMENT_REGISTRY, FULL, QUICK
+
+ATTACKS_BY_NAME = {attack.name: attack for attack in ALL_ATTACKS}
+
+#: Per-attack environment defaults (mirrors the Table 1 plan).
+ATTACK_ENV_DEFAULTS = {
+    "cow-timing": {},
+    "page-color": {},
+    "page-sharing": {},
+    "prefetch-sharing": {"frames": 32768},
+    "translation": {"thp_fault": True, "frames": 32768},
+    "flip-feng-shui": {"thp_fault": True, "frames": 32768, "row_vulnerability": 0.3},
+    "reuse-ffs": {"row_vulnerability": 0.3},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Secure Page Fusion with VUsion' (SOSP '17)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and attacks")
+
+    exp = sub.add_parser("experiment", help="regenerate a table or figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENT_REGISTRY))
+    exp.add_argument("--full", action="store_true",
+                     help="full scale (slower, closer to the paper)")
+    exp.add_argument("--seed", type=int, default=1017)
+
+    atk = sub.add_parser("attack", help="run one attack against one engine")
+    atk.add_argument("name", choices=sorted(ATTACKS_BY_NAME))
+    atk.add_argument("--target", default="ksm",
+                     choices=sorted(ENGINE_FACTORIES))
+    atk.add_argument("--seed", type=int, default=1017)
+
+    matrix = sub.add_parser("matrix", help="run the full Table 1 attack matrix")
+    matrix.add_argument("--seed", type=int, default=1017)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a combined report"
+    )
+    report.add_argument("--full", action="store_true")
+    report.add_argument("--seed", type=int, default=1017)
+    report.add_argument("--output", default="results/full_report.txt")
+    return parser
+
+
+def cmd_list() -> int:
+    print("experiments (repro experiment <name>):")
+    for name in sorted(EXPERIMENT_REGISTRY):
+        print(f"  {name}")
+    print("\nattacks (repro attack <name> --target <engine>):")
+    for name in sorted(ATTACKS_BY_NAME):
+        print(f"  {name}")
+    print("\nengines:")
+    for name in sorted(ENGINE_FACTORIES):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_experiment(name: str, full: bool, seed: int) -> int:
+    scale = FULL if full else QUICK
+    result = EXPERIMENT_REGISTRY[name](scale, seed)
+    print(result.render())
+    return 0 if result.all_checks_pass else 1
+
+
+def cmd_attack(name: str, target: str, seed: int) -> int:
+    env_kwargs = dict(ATTACK_ENV_DEFAULTS.get(name, {}))
+    env = AttackEnvironment(target, seed=seed, **env_kwargs)
+    result = ATTACKS_BY_NAME[name](env).run()
+    print(result)
+    for key, value in result.evidence.items():
+        if isinstance(value, list) and len(value) > 8:
+            value = f"[{len(value)} samples]"
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_matrix(seed: int) -> int:
+    result = EXPERIMENT_REGISTRY["table1"](QUICK, seed)
+    print(result.render())
+    return 0 if result.all_checks_pass else 1
+
+
+def cmd_report(full: bool, seed: int, output: str) -> int:
+    """Run the whole evaluation and write one combined report."""
+    import pathlib
+    import time
+
+    scale = FULL if full else QUICK
+    sections = []
+    all_pass = True
+    for name in EXPERIMENT_REGISTRY:
+        started = time.perf_counter()
+        result = EXPERIMENT_REGISTRY[name](scale, seed)
+        elapsed = time.perf_counter() - started
+        status = "OK" if result.all_checks_pass else "CHECKS FAILED"
+        all_pass = all_pass and result.all_checks_pass
+        print(f"{name:22s} {status:14s} [{elapsed:.1f}s]", flush=True)
+        sections.append(f"### {name} ({status})\n\n{result.render()}")
+    path = pathlib.Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n\n\n".join(sections) + "\n")
+    print(f"\nreport written to {path}")
+    return 0 if all_pass else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "experiment":
+        return cmd_experiment(args.name, args.full, args.seed)
+    if args.command == "attack":
+        return cmd_attack(args.name, args.target, args.seed)
+    if args.command == "matrix":
+        return cmd_matrix(args.seed)
+    if args.command == "report":
+        return cmd_report(args.full, args.seed, args.output)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""VUsion: the paper's secure page-fusion system."""
+
+from repro.core.deferred_free import DeferredFreeQueue
+from repro.core.random_pool import RandomFramePool
+from repro.core.vusion import Vusion, VusionNode
+from repro.core.working_set import WorkingSetEstimator
+
+__all__ = [
+    "DeferredFreeQueue",
+    "RandomFramePool",
+    "Vusion",
+    "VusionNode",
+    "WorkingSetEstimator",
+]

@@ -1,0 +1,81 @@
+"""Working-set estimation for VUsion (§7.2).
+
+Built on the kernel's idle page tracking: the estimator clears the PTE
+accessed bit on every visit and only reports a page *idle* when
+
+* the accessed bit was still clear (untouched since the last visit),
+  and
+* the last visit was at least one scan period ago — so "idle" always
+  means "idle for a controlled period", as in the paper, even when the
+  scanner wraps around a short candidate list within one tick.
+
+Huge pages have a single accessed bit for all 512 subpages, so they
+are tracked under the 2 MiB base address; a THP therefore counts as
+active if *any* subpage access set the bit (and VUsion will not split
+it — §8.1's "only idle THPs are broken up").
+
+With estimation disabled every visited page is treated as idle — the
+"naive VUsion" configuration the paper uses to motivate the
+optimisation.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.idle import IdlePageTracker
+from repro.mmu.pte import PageTableEntry
+
+#: A visit key: (pid, page base address).
+VisitKey = tuple[int, int]
+
+
+class WorkingSetEstimator:
+    """Idle-tracking front end used by the VUsion scan loop."""
+
+    def __init__(
+        self,
+        tracker: IdlePageTracker,
+        enabled: bool = True,
+        min_idle_ns: int = 0,
+    ) -> None:
+        self.tracker = tracker
+        self.enabled = enabled
+        self.min_idle_ns = min_idle_ns
+        self.active_hits = 0
+        self.idle_hits = 0
+        #: Last time each page was *seen active* (accessed bit set at a
+        #: visit); first sightings are baselined here too.
+        self._last_active: dict[VisitKey, int] = {}
+
+    def is_candidate(self, key: VisitKey, pte: PageTableEntry, now: int) -> bool:
+        """Visit one page; True if it has been idle for ``min_idle_ns``.
+
+        The accessed bit is harvested (cleared) on every visit; a page
+        qualifies once it has gone a full ``min_idle_ns`` without the
+        bit reappearing.  Unknown pages are baselined as active so a
+        freshly faulted page always waits out one idle period first.
+        """
+        if not self.enabled:
+            return True
+        active = self.tracker.check_and_clear(pte)
+        if active or key not in self._last_active:
+            self._last_active[key] = now
+            self.active_hits += 1
+            return False
+        if now - self._last_active[key] < self.min_idle_ns:
+            return False
+        self.idle_hits += 1
+        return True
+
+    def recently_active(self, key: VisitKey, now: int, horizon: int) -> bool:
+        """Was the page seen active within the last ``horizon`` ns?
+
+        The estimator consumes (clears) accessed bits on every scan
+        visit, so other consumers — the secure khugepaged policy —
+        read activity through this method instead of the raw bit.
+        """
+        last = self._last_active.get(key)
+        return last is not None and now - last <= horizon
+
+    def forget(self, key: VisitKey) -> None:
+        """Drop visit state (page unmapped or VMA gone)."""
+        self._last_active.pop(key, None)

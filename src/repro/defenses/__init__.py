@@ -1,0 +1,5 @@
+"""Alternative defenses the paper compares against (§10.2)."""
+
+from repro.defenses.hexpads import HexPadsDetector, HexPadsConfig
+
+__all__ = ["HexPadsConfig", "HexPadsDetector"]

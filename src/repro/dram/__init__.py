@@ -1,0 +1,6 @@
+"""DRAM geometry and the Rowhammer fault model."""
+
+from repro.dram.geometry import DramMapper
+from repro.dram.rowhammer import FlipTemplate, RowhammerEngine
+
+__all__ = ["DramMapper", "FlipTemplate", "RowhammerEngine"]

@@ -1,0 +1,67 @@
+"""Mapping of physical frames onto DRAM banks and rows.
+
+The address layout interleaves banks *below* the row index: a row holds
+``pages_per_row`` consecutive frames, consecutive rows rotate through
+the banks, and adjacent rows of the *same* bank are
+``banks * pages_per_row`` frames apart.  Consequently a large
+physically-contiguous allocation — a transparent huge page, or WPF's
+linear end-of-memory fusion region — contains many (row-1, row,
+row+1) same-bank triples, which is precisely what double-sided
+Rowhammer needs and what both Flip Feng Shui variants in the paper
+exploit.
+"""
+
+from __future__ import annotations
+
+from repro.params import DramGeometry
+
+
+class DramMapper:
+    """Frame-number to (bank, row) translation plus adjacency queries."""
+
+    def __init__(self, geometry: DramGeometry, num_frames: int) -> None:
+        self.geometry = geometry
+        self.num_frames = num_frames
+
+    def bank_and_row(self, pfn: int) -> tuple[int, int]:
+        """Return the (bank, in-bank row index) holding frame ``pfn``."""
+        global_row = pfn // self.geometry.pages_per_row
+        return (
+            global_row % self.geometry.banks,
+            global_row // self.geometry.banks,
+        )
+
+    def frames_of_row(self, bank: int, row: int) -> list[int]:
+        """All frame numbers stored in (bank, row)."""
+        global_row = row * self.geometry.banks + bank
+        first = global_row * self.geometry.pages_per_row
+        frames = range(first, first + self.geometry.pages_per_row)
+        return [pfn for pfn in frames if pfn < self.num_frames]
+
+    def double_sided_victim(self, pfn_a: int, pfn_b: int) -> tuple[int, int] | None:
+        """If hammering ``pfn_a``/``pfn_b`` is double-sided, return the victim.
+
+        Double-sided means the two aggressor frames sit in rows ``r-1``
+        and ``r+1`` of the same bank; the sandwiched row ``r`` is
+        returned as ``(bank, row)``.  Returns None otherwise.
+        """
+        bank_a, row_a = self.bank_and_row(pfn_a)
+        bank_b, row_b = self.bank_and_row(pfn_b)
+        if bank_a != bank_b or abs(row_a - row_b) != 2:
+            return None
+        return bank_a, (row_a + row_b) // 2
+
+    def neighbours(self, pfn: int) -> tuple[list[int], list[int]]:
+        """Frames of the rows directly above and below ``pfn``'s row."""
+        bank, row = self.bank_and_row(pfn)
+        above = self.frames_of_row(bank, row - 1) if row > 0 else []
+        below = self.frames_of_row(bank, row + 1)
+        return above, below
+
+    def aggressors_for(self, pfn: int) -> tuple[list[int], list[int]]:
+        """Aggressor frame choices for a double-sided attack on ``pfn``.
+
+        Returns the frames of rows ``r-1`` and ``r+1`` of the same bank;
+        an attacker must map (or own) one frame from each list.
+        """
+        return self.neighbours(pfn)

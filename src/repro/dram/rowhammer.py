@@ -1,0 +1,132 @@
+"""Rowhammer fault model: per-row flip templates and the hammer primitive.
+
+Vulnerable DRAM cells are a fixed property of the *chip*, so the
+simulator derives each row's flip templates deterministically from the
+machine seed.  Hammering two aggressor rows flips the templated bits of
+the sandwiched victim row directly in physical memory — past page
+tables, permissions and copy-on-write, which is exactly the property
+Flip Feng Shui abuses to corrupt a victim's fused page without ever
+writing to it.
+
+Template density defaults to roughly one vulnerable row in sixteen,
+in line with the "many exploitable flips per module" observations the
+FFS paper builds on; tests and attacks can raise it for speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramMapper
+from repro.mem.physmem import PhysicalMemory
+from repro.params import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class FlipTemplate:
+    """One vulnerable cell: flipping occurs at (frame, byte, bit).
+
+    ``requires_double_sided`` cells only flip under double-sided
+    hammering; the rest also flip (less usefully) single-sided.
+    """
+
+    pfn: int
+    byte_offset: int
+    bit: int
+    requires_double_sided: bool
+
+
+class RowhammerEngine:
+    """Generates flip templates and applies hammering to physical memory."""
+
+    def __init__(
+        self,
+        physmem: PhysicalMemory,
+        dram: DramMapper,
+        seed: int,
+        row_vulnerability: float = 1 / 16,
+    ) -> None:
+        self.physmem = physmem
+        self.dram = dram
+        self.seed = seed
+        self.row_vulnerability = row_vulnerability
+        self.hammer_count = 0
+        self._row_cache: dict[tuple[int, int], tuple[FlipTemplate, ...]] = {}
+        #: (pfn, byte, bit) -> content version at which the cell last
+        #: flipped.  A discharged cell cannot flip again until the frame
+        #: is rewritten (recharging it).
+        self._applied: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Template generation
+    # ------------------------------------------------------------------
+    def templates_of_row(self, bank: int, row: int) -> tuple[FlipTemplate, ...]:
+        """Deterministic flip templates of one DRAM row."""
+        key = (bank, row)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = random.Random((self.seed << 40) ^ (bank << 32) ^ (row & 0xFFFFFFFF))
+        templates: list[FlipTemplate] = []
+        if rng.random() < self.row_vulnerability:
+            frames = self.dram.frames_of_row(bank, row)
+            for _ in range(rng.randint(1, 2)):
+                if not frames:
+                    break
+                templates.append(
+                    FlipTemplate(
+                        pfn=rng.choice(frames),
+                        byte_offset=rng.randrange(PAGE_SIZE),
+                        bit=rng.randrange(8),
+                        requires_double_sided=rng.random() < 0.7,
+                    )
+                )
+        result = tuple(templates)
+        self._row_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Hammering
+    # ------------------------------------------------------------------
+    def hammer(self, pfn_a: int, pfn_b: int) -> list[FlipTemplate]:
+        """Hammer the rows of two aggressor frames; return applied flips.
+
+        Double-sided hammering (aggressors in rows ``r-1``/``r+1`` of
+        one bank) flips every template of victim row ``r``.
+        Single-sided hammering (adjacent rows) only flips templates not
+        marked double-sided-only.  Aggressors in unrelated rows flip
+        nothing.
+        """
+        self.hammer_count += 1
+        victim = self.dram.double_sided_victim(pfn_a, pfn_b)
+        if victim is not None:
+            bank, row = victim
+            flips = list(self.templates_of_row(bank, row))
+        else:
+            flips = self._single_sided_flips(pfn_a, pfn_b)
+        applied: list[FlipTemplate] = []
+        for flip in flips:
+            key = (flip.pfn, flip.byte_offset, flip.bit)
+            if self._applied.get(key) == self.physmem.version(flip.pfn):
+                continue
+            self.physmem.corrupt_bit(flip.pfn, flip.byte_offset, flip.bit)
+            self._applied[key] = self.physmem.version(flip.pfn)
+            applied.append(flip)
+        return applied
+
+    def _single_sided_flips(self, pfn_a: int, pfn_b: int) -> list[FlipTemplate]:
+        bank_a, row_a = self.dram.bank_and_row(pfn_a)
+        bank_b, row_b = self.dram.bank_and_row(pfn_b)
+        if bank_a != bank_b or abs(row_a - row_b) != 1:
+            return []
+        flips: list[FlipTemplate] = []
+        for neighbour_row in (min(row_a, row_b) - 1, max(row_a, row_b) + 1):
+            if neighbour_row < 0:
+                continue
+            flips.extend(
+                flip
+                for flip in self.templates_of_row(bank_a, neighbour_row)
+                if not flip.requires_double_sided
+            )
+        return flips

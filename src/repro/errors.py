@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class OutOfMemoryError(ReproError):
+    """The buddy allocator (or a frame pool) has no frame to hand out."""
+
+
+class InvalidFrameError(ReproError):
+    """A frame number is out of range or in the wrong state."""
+
+
+class MappingError(ReproError):
+    """A virtual-memory mapping operation is invalid.
+
+    Raised for double maps, unmapping absent pages, misaligned huge
+    pages and similar page-table misuse.
+    """
+
+
+class SegmentationFault(ReproError):
+    """A process touched a virtual address outside any of its VMAs."""
+
+    def __init__(self, vaddr: int, message: str = "") -> None:
+        detail = message or f"access to unmapped address {vaddr:#x}"
+        super().__init__(detail)
+        self.vaddr = vaddr
+
+
+class ProtectionFault(ReproError):
+    """An access violated page permissions and no handler fixed it up."""
+
+    def __init__(self, vaddr: int, kind: str) -> None:
+        super().__init__(f"{kind} access to {vaddr:#x} denied")
+        self.vaddr = vaddr
+        self.kind = kind
+
+
+class FusionError(ReproError):
+    """A fusion engine detected an internal inconsistency."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its valid range."""

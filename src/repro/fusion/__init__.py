@@ -1,0 +1,21 @@
+"""Page-fusion engines: KSM, Windows Page Fusion and baselines.
+
+The secure engine (VUsion) lives in :mod:`repro.core`.
+"""
+
+from repro.fusion.base import FusionEngine, FusionStats
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.memory_combining import MemoryCombining
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+
+__all__ = [
+    "CopyOnAccessKsm",
+    "FusionEngine",
+    "FusionStats",
+    "Ksm",
+    "MemoryCombining",
+    "WindowsPageFusion",
+    "ZeroPageFusion",
+]

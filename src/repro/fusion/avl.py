@@ -1,0 +1,181 @@
+"""AVL tree keyed by page content, as used by Windows Page Fusion.
+
+WPF stores already-fused pages in "multiple AVL trees that have the
+same functionality as KSM's stable tree" (paper §2.2).  Keys here are
+stable (fused pages are read-only), so a classic recursive AVL with
+static keys is faithful.  ``on_compare`` charges simulated time per
+content comparison, like the red-black tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class _AvlNode(Generic[T]):
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: bytes, value: T) -> None:
+        self.key = key
+        self.value = value
+        self.left: "_AvlNode[T] | None" = None
+        self.right: "_AvlNode[T] | None" = None
+        self.height = 1
+
+
+def _height(node: "_AvlNode[T] | None") -> int:
+    return node.height if node is not None else 0
+
+
+def _balance(node: "_AvlNode[T]") -> int:
+    return _height(node.left) - _height(node.right)
+
+
+class AvlTree(Generic[T]):
+    """Self-balancing AVL tree mapping content keys to values."""
+
+    def __init__(self, on_compare: Callable[[], None] | None = None) -> None:
+        self._root: "_AvlNode[T] | None" = None
+        self._on_compare = on_compare
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _compare(self, key: bytes, node_key: bytes) -> int:
+        if self._on_compare is not None:
+            self._on_compare()
+        if key < node_key:
+            return -1
+        if key > node_key:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: bytes) -> T | None:
+        node = self._root
+        while node is not None:
+            order = self._compare(key, node.key)
+            if order == 0:
+                return node.value
+            node = node.left if order < 0 else node.right
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None
+
+    # ------------------------------------------------------------------
+    # Insert / delete
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: T) -> None:
+        self._root = self._insert(self._root, key, value)
+        self._size += 1
+
+    def _insert(self, node: "_AvlNode[T] | None", key: bytes, value: T) -> "_AvlNode[T]":
+        if node is None:
+            return _AvlNode(key, value)
+        order = self._compare(key, node.key)
+        if order == 0:
+            raise ValueError(f"duplicate key {key!r}")
+        if order < 0:
+            node.left = self._insert(node.left, key, value)
+        else:
+            node.right = self._insert(node.right, key, value)
+        return self._rebalance(node)
+
+    def remove(self, key: bytes) -> T:
+        self._root, removed = self._remove(self._root, key)
+        self._size -= 1
+        return removed
+
+    def _remove(
+        self, node: "_AvlNode[T] | None", key: bytes
+    ) -> tuple["_AvlNode[T] | None", T]:
+        if node is None:
+            raise KeyError(key)
+        order = self._compare(key, node.key)
+        if order < 0:
+            node.left, removed = self._remove(node.left, key)
+        elif order > 0:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            removed = node.value
+            if node.left is None:
+                return node.right, removed
+            if node.right is None:
+                return node.left, removed
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._remove(node.right, successor.key)
+        return self._rebalance(node), removed
+
+    # ------------------------------------------------------------------
+    # Balancing
+    # ------------------------------------------------------------------
+    def _rebalance(self, node: "_AvlNode[T]") -> "_AvlNode[T]":
+        node.height = 1 + max(_height(node.left), _height(node.right))
+        balance = _balance(node)
+        if balance > 1:
+            if _balance(node.left) < 0:
+                node.left = self._rotate_left(node.left)
+            return self._rotate_right(node)
+        if balance < -1:
+            if _balance(node.right) > 0:
+                node.right = self._rotate_right(node.right)
+            return self._rotate_left(node)
+        return node
+
+    def _rotate_left(self, node: "_AvlNode[T]") -> "_AvlNode[T]":
+        pivot = node.right
+        node.right = pivot.left
+        pivot.left = node
+        node.height = 1 + max(_height(node.left), _height(node.right))
+        pivot.height = 1 + max(_height(pivot.left), _height(pivot.right))
+        return pivot
+
+    def _rotate_right(self, node: "_AvlNode[T]") -> "_AvlNode[T]":
+        pivot = node.left
+        node.left = pivot.right
+        pivot.right = node
+        node.height = 1 + max(_height(node.left), _height(node.right))
+        pivot.height = 1 + max(_height(pivot.left), _height(pivot.right))
+        return pivot
+
+    # ------------------------------------------------------------------
+    # Iteration / validation
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[bytes, T]]:
+        def walk(node: "_AvlNode[T] | None") -> Iterator[tuple[bytes, T]]:
+            if node is None:
+                return
+            yield from walk(node.left)
+            yield node.key, node.value
+            yield from walk(node.right)
+
+        return walk(self._root)
+
+    def check_invariants(self) -> None:
+        """Verify AVL balance and key ordering."""
+
+        def walk(node: "_AvlNode[T] | None") -> int:
+            if node is None:
+                return 0
+            left = walk(node.left)
+            right = walk(node.right)
+            if abs(left - right) > 1:
+                raise AssertionError("AVL balance violated")
+            if node.height != 1 + max(left, right):
+                raise AssertionError("stale height")
+            if node.left is not None and not node.left.key < node.key:
+                raise AssertionError("left key out of order")
+            if node.right is not None and not node.key < node.right.key:
+                raise AssertionError("right key out of order")
+            return node.height
+
+        walk(self._root)

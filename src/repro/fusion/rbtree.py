@@ -1,0 +1,304 @@
+"""Red-black tree keyed by page content, as used by KSM.
+
+KSM's stable and unstable trees balance themselves on the *contents*
+of the pages they index.  Stable-tree keys never change (stable pages
+are read-only), but unstable-tree pages are unprotected and may be
+rewritten after insertion — so the unstable tree "is not always
+perfectly balanced" (paper §2.1) and lookups can miss.  The simulator
+reproduces that honestly: keys are read through a callback at
+comparison time, and the whole unstable tree is reset every scan
+cycle, exactly like the real KSM.
+
+Deletion never relies on key comparisons (a node whose key drifted can
+still be unlinked): values map to their nodes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+RED = True
+BLACK = False
+
+
+class _Node(Generic[T]):
+    __slots__ = ("value", "left", "right", "parent", "color")
+
+    def __init__(self, value: T | None, color: bool) -> None:
+        self.value = value
+        self.left: "_Node[T] | None" = None
+        self.right: "_Node[T] | None" = None
+        self.parent: "_Node[T] | None" = None
+        self.color = color
+
+
+class RedBlackTree(Generic[T]):
+    """CLRS-style red-black tree with live (possibly drifting) keys.
+
+    ``key_of(value)`` returns the current comparison key of a stored
+    value; it is invoked on every comparison, so key drift after
+    insertion degrades search exactly as in KSM's unstable tree.
+    ``on_compare`` is called once per comparison and lets the fusion
+    engines charge simulated time for content comparisons.
+    """
+
+    def __init__(
+        self,
+        key_of: Callable[[T], bytes],
+        on_compare: Callable[[], None] | None = None,
+    ) -> None:
+        self._key_of = key_of
+        self._on_compare = on_compare
+        self.nil: _Node[T] = _Node(None, BLACK)
+        self.root: _Node[T] = self.nil
+        self._nodes: dict[T, _Node[T]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, value: T) -> bool:
+        return value in self._nodes
+
+    def values(self) -> Iterator[T]:
+        return iter(list(self._nodes))
+
+    def clear(self) -> None:
+        self.root = self.nil
+        self._nodes.clear()
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def _compare(self, key: bytes, node: _Node[T]) -> int:
+        if self._on_compare is not None:
+            self._on_compare()
+        node_key = self._key_of(node.value)
+        if key < node_key:
+            return -1
+        if key > node_key:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: bytes) -> T | None:
+        """Find a stored value whose *current* key equals ``key``."""
+        node = self.root
+        while node is not self.nil:
+            order = self._compare(key, node)
+            if order == 0:
+                return node.value
+            node = node.left if order < 0 else node.right
+        return None
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, value: T) -> None:
+        if value in self._nodes:
+            raise ValueError(f"value {value!r} already in tree")
+        key = self._key_of(value)
+        node = _Node(value, RED)
+        node.left = node.right = self.nil
+        parent = self.nil
+        cursor = self.root
+        while cursor is not self.nil:
+            parent = cursor
+            cursor = cursor.left if self._compare(key, cursor) < 0 else cursor.right
+        node.parent = parent
+        if parent is self.nil:
+            self.root = node
+        elif self._compare(key, parent) < 0:
+            parent.left = node
+        else:
+            parent.right = node
+        self._nodes[value] = node
+        self._insert_fixup(node)
+
+    def _insert_fixup(self, node: _Node[T]) -> None:
+        while node.parent.color is RED:
+            parent = node.parent
+            grandparent = parent.parent
+            if parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    node = grandparent
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                    node.parent.color = BLACK
+                    node.parent.parent.color = RED
+                    self._rotate_right(node.parent.parent)
+            else:
+                uncle = grandparent.left
+                if uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    node = grandparent
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                    node.parent.color = BLACK
+                    node.parent.parent.color = RED
+                    self._rotate_left(node.parent.parent)
+        self.root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Delete (structural; never compares keys)
+    # ------------------------------------------------------------------
+    def remove(self, value: T) -> None:
+        node = self._nodes.pop(value)
+        self._delete_node(node)
+
+    def discard(self, value: T) -> bool:
+        if value not in self._nodes:
+            return False
+        self.remove(value)
+        return True
+
+    def _delete_node(self, node: _Node[T]) -> None:
+        removed_color = node.color
+        if node.left is self.nil:
+            replacement = node.right
+            self._transplant(node, node.right)
+        elif node.right is self.nil:
+            replacement = node.left
+            self._transplant(node, node.left)
+        else:
+            successor = node.right
+            while successor.left is not self.nil:
+                successor = successor.left
+            removed_color = successor.color
+            replacement = successor.right
+            if successor.parent is node:
+                replacement.parent = successor
+            else:
+                self._transplant(successor, successor.right)
+                successor.right = node.right
+                successor.right.parent = successor
+            self._transplant(node, successor)
+            successor.left = node.left
+            successor.left.parent = successor
+            successor.color = node.color
+        if removed_color is BLACK:
+            self._delete_fixup(replacement)
+
+    def _transplant(self, old: _Node[T], new: _Node[T]) -> None:
+        if old.parent is self.nil:
+            self.root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        new.parent = old.parent
+
+    def _delete_fixup(self, node: _Node[T]) -> None:
+        while node is not self.root and node.color is BLACK:
+            parent = node.parent
+            if node is parent.left:
+                sibling = parent.right
+                if sibling.color is RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                if sibling.left.color is BLACK and sibling.right.color is BLACK:
+                    sibling.color = RED
+                    node = parent
+                else:
+                    if sibling.right.color is BLACK:
+                        sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    sibling.right.color = BLACK
+                    self._rotate_left(parent)
+                    node = self.root
+            else:
+                sibling = parent.left
+                if sibling.color is RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                if sibling.right.color is BLACK and sibling.left.color is BLACK:
+                    sibling.color = RED
+                    node = parent
+                else:
+                    if sibling.left.color is BLACK:
+                        sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    sibling.left.color = BLACK
+                    self._rotate_right(parent)
+                    node = self.root
+        node.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+    def _rotate_left(self, node: _Node[T]) -> None:
+        pivot = node.right
+        node.right = pivot.left
+        if pivot.left is not self.nil:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is self.nil:
+            self.root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: _Node[T]) -> None:
+        pivot = node.left
+        node.left = pivot.right
+        if pivot.right is not self.nil:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is self.nil:
+            self.root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    # ------------------------------------------------------------------
+    # Validation (used by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify red-black structure (colors and black-height)."""
+        if self.root.color is not BLACK:
+            raise AssertionError("root is red")
+
+        def walk(node: _Node[T]) -> int:
+            if node is self.nil:
+                return 1
+            if node.color is RED:
+                if node.left.color is RED or node.right.color is RED:
+                    raise AssertionError("red node has red child")
+            left_height = walk(node.left)
+            right_height = walk(node.right)
+            if left_height != right_height:
+                raise AssertionError("black-height mismatch")
+            return left_height + (1 if node.color is BLACK else 0)
+
+        walk(self.root)

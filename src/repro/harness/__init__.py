@@ -1,0 +1,21 @@
+"""Experiment harness: system configurations and per-figure drivers."""
+
+from repro.harness.scenario import (
+    KSM_CONFIG,
+    NO_DEDUP,
+    Scenario,
+    STANDARD_CONFIGS,
+    SystemConfig,
+    VUSION_CONFIG,
+    VUSION_THP_CONFIG,
+)
+
+__all__ = [
+    "KSM_CONFIG",
+    "NO_DEDUP",
+    "STANDARD_CONFIGS",
+    "Scenario",
+    "SystemConfig",
+    "VUSION_CONFIG",
+    "VUSION_THP_CONFIG",
+]

@@ -1,0 +1,166 @@
+"""Multi-VM scenario driver and the paper's four system configurations.
+
+The evaluation compares four systems throughout (§9):
+
+* **No Dedup** — page fusion off; THP on (fault + khugepaged).
+* **KSM** — stock Linux KSM; insecure khugepaged.
+* **VUsion** — the secure engine; khugepaged off, so THPs broken for
+  fusion never come back (the paper's plain-VUsion behaviour, Fig. 9).
+* **VUsion THP** — the secure engine plus the §8 secure khugepaged,
+  conserving working-set huge pages.
+
+Scenarios are scaled down (VMs of a few thousand pages, scan rounds of
+seconds instead of minutes); shapes, orderings and crossovers — not
+absolute numbers — are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.metrics import MemorySample, take_sample
+from repro.core.vusion import Vusion
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.kernel.kernel import Kernel
+from repro.kernel.khugepaged import Khugepaged
+from repro.params import (
+    FusionConfig,
+    MachineSpec,
+    MINUTE,
+    MS,
+    SECOND,
+    VusionConfig,
+    WpfConfig,
+)
+from repro.workloads.vm_image import GuestVm, VmImageSpec, boot_vm
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One column of the paper's comparison tables."""
+
+    label: str
+    engine: str | None
+    khugepaged: str | None = None  # None | "insecure" | "secure"
+    thp_fault: bool = True
+    pages_per_scan: int = 128
+    scan_interval: int = 20 * MS
+    pool_frames: int = 2048
+    min_idle_ns: int | None = None
+    khugepaged_period: int = 2 * SECOND
+    thp_active_threshold: int = 1
+    wpf_interval: int = 15 * MINUTE
+    #: VUsion THP-conserving mode (§8.1): only idle THPs are broken up.
+    conserve_thp: bool = False
+    #: Working-set estimation (§7.2); False = the paper's "naive VUsion".
+    working_set: bool = True
+
+    def with_(self, **overrides) -> "SystemConfig":
+        return replace(self, **overrides)
+
+
+NO_DEDUP = SystemConfig("No Dedup", engine=None, khugepaged="insecure")
+KSM_CONFIG = SystemConfig("KSM", engine="ksm", khugepaged="insecure")
+VUSION_CONFIG = SystemConfig("VUsion", engine="vusion", khugepaged=None)
+VUSION_THP_CONFIG = SystemConfig(
+    "VUsion THP", engine="vusion", khugepaged="secure", conserve_thp=True
+)
+
+#: The four columns of Tables 2/4/5/6/7 and Figs. 7-12.
+STANDARD_CONFIGS = [NO_DEDUP, KSM_CONFIG, VUSION_CONFIG, VUSION_THP_CONFIG]
+
+
+def build_engine(config: SystemConfig):
+    fusion_config = FusionConfig(
+        pages_per_scan=config.pages_per_scan, scan_interval=config.scan_interval
+    )
+    if config.engine is None:
+        return None
+    if config.engine == "ksm":
+        return Ksm(fusion_config)
+    if config.engine == "coa-ksm":
+        return CopyOnAccessKsm(fusion_config)
+    if config.engine == "zeropage":
+        return ZeroPageFusion(fusion_config)
+    if config.engine == "memory-combining":
+        from repro.fusion.memory_combining import MemoryCombining
+
+        return MemoryCombining(fusion_config)
+    if config.engine == "wpf":
+        return WindowsPageFusion(WpfConfig(pass_interval=config.wpf_interval))
+    if config.engine == "vusion":
+        return Vusion(
+            VusionConfig(
+                random_pool_frames=config.pool_frames,
+                min_idle_ns=config.min_idle_ns,
+                thp_enabled=config.conserve_thp,
+                thp_active_threshold=config.thp_active_threshold,
+                working_set_enabled=config.working_set,
+            ),
+            fusion_config,
+        )
+    raise ValueError(f"unknown engine {config.engine!r}")
+
+
+class Scenario:
+    """A machine built from a :class:`SystemConfig`, hosting VMs."""
+
+    def __init__(
+        self, config: SystemConfig, frames: int = 32768, seed: int = 1017
+    ) -> None:
+        self.config = config
+        self.kernel = Kernel(
+            MachineSpec(total_frames=frames, seed=seed),
+            thp_fault_enabled=config.thp_fault,
+        )
+        self.engine = build_engine(config)
+        if self.engine is not None:
+            self.kernel.attach_fusion(self.engine)
+        self.khugepaged = None
+        if config.khugepaged is not None:
+            self.khugepaged = Khugepaged(
+                self.kernel,
+                period=config.khugepaged_period,
+                secure=(config.khugepaged == "secure"),
+                active_threshold=config.thp_active_threshold,
+            )
+        self.vms: list[GuestVm] = []
+        self.samples: list[MemorySample] = []
+
+    # ------------------------------------------------------------------
+    # VM management
+    # ------------------------------------------------------------------
+    def boot(self, image: VmImageSpec, name: str | None = None) -> GuestVm:
+        vm_name = name or f"vm{len(self.vms)}"
+        vm = boot_vm(self.kernel, vm_name, image)
+        self.vms.append(vm)
+        return vm
+
+    # ------------------------------------------------------------------
+    # Time and sampling
+    # ------------------------------------------------------------------
+    def idle(self, duration: int) -> None:
+        self.kernel.idle(duration)
+
+    def sample(self) -> MemorySample:
+        sample = take_sample(self.kernel)
+        self.samples.append(sample)
+        return sample
+
+    def run_sampling(self, duration: int, interval: int = SECOND) -> list[MemorySample]:
+        """Idle for ``duration``, sampling memory every ``interval``."""
+        end = self.kernel.clock.now + duration
+        while self.kernel.clock.now < end:
+            self.idle(min(interval, end - self.kernel.clock.now))
+            self.sample()
+        return self.samples
+
+    def saved_frames(self) -> int:
+        return self.engine.saved_frames() if self.engine is not None else 0
+
+    def series(self, attribute: str) -> list[tuple[float, float]]:
+        """Extract (t_seconds, value) pairs from collected samples."""
+        return [(s.t_s, float(getattr(s, attribute))) for s in self.samples]

@@ -1,0 +1,21 @@
+"""The simulated kernel: clock, processes, faults, daemons and THP."""
+
+from repro.kernel.clock import Clock
+from repro.kernel.daemons import Daemon
+from repro.kernel.idle import IdlePageTracker
+from repro.kernel.kernel import AccessKind, AccessResult, Kernel
+from repro.kernel.khugepaged import Khugepaged
+from repro.kernel.page_cache import GuestFileStore
+from repro.kernel.process import Process
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "Clock",
+    "Daemon",
+    "GuestFileStore",
+    "IdlePageTracker",
+    "Kernel",
+    "Khugepaged",
+    "Process",
+]

@@ -1,0 +1,60 @@
+"""Access kinds and results shared by the kernel and processes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mem.content import PageContent
+
+
+class AccessKind(enum.Enum):
+    """How a page is touched.
+
+    ``FETCH`` covers instruction fetch and the x86 ``prefetch``
+    instruction — the implicit access path whose side channel VUsion
+    closes with the cache-disable bit.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    FETCH = "fetch"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one architectural memory access.
+
+    ``latency`` is the full simulated cost including any page faults
+    taken — this is the quantity all the paper's timing attacks
+    measure.  ``fault_kinds`` lists which fault paths ran (empty for a
+    plain access); tests use it, attackers must not.
+    """
+
+    vaddr: int
+    kind: AccessKind
+    content: PageContent
+    latency: int
+    fault_kinds: tuple[str, ...] = ()
+    tlb_hit: bool = False
+    llc_hit: bool = False
+
+
+@dataclass
+class KernelStats:
+    """Machine-wide fault and operation counters."""
+
+    accesses: int = 0
+    demand_faults: int = 0
+    cow_faults: int = 0
+    coa_faults: int = 0
+    protection_faults: int = 0
+    thp_fault_allocs: int = 0
+    thp_collapses: int = 0
+    thp_splits: int = 0
+    frames_allocated: int = 0
+    frames_freed: int = 0
+    by_fault_kind: dict = field(default_factory=dict)
+
+    def count_fault(self, kind: str) -> None:
+        self.by_fault_kind[kind] = self.by_fault_kind.get(kind, 0) + 1

@@ -1,0 +1,79 @@
+"""Periodic kernel daemons (ksmd-style scanners, khugepaged, free queues).
+
+Daemons run co-operatively: before every memory access, and while the
+machine idles, the kernel fires any daemon whose deadline has passed.
+Daemon work advances the shared clock, so scanning steals time from
+the workload exactly as a kernel thread steals CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Daemon:
+    """One periodic task with its own deadline."""
+
+    def __init__(self, name: str, period: int, callback: Callable[[], None]) -> None:
+        if period <= 0:
+            raise ValueError(f"daemon {name!r} period must be positive")
+        self.name = name
+        self.period = period
+        self.callback = callback
+        self.next_due: int | None = None
+        self.runs = 0
+        self.enabled = True
+
+    def schedule_from(self, now: int) -> None:
+        self.next_due = now + self.period
+
+    def run(self, now: int) -> None:
+        """Execute one tick and push the deadline one period forward.
+
+        The next deadline is based on the *scheduled* time, not the
+        completion time, so a slow tick does not drift the scan rate —
+        matching how ksmd sleeps ``T`` ms between batches.
+        """
+        scheduled = self.next_due if self.next_due is not None else now
+        self.runs += 1
+        self.callback()
+        self.next_due = max(scheduled, now) + self.period
+
+
+class DaemonScheduler:
+    """Runs registered daemons whose deadlines have passed."""
+
+    def __init__(self) -> None:
+        self._daemons: list[Daemon] = []
+
+    def register(self, daemon: Daemon, now: int) -> Daemon:
+        daemon.schedule_from(now)
+        self._daemons.append(daemon)
+        return daemon
+
+    def unregister(self, daemon: Daemon) -> None:
+        self._daemons.remove(daemon)
+
+    @property
+    def daemons(self) -> tuple[Daemon, ...]:
+        return tuple(self._daemons)
+
+    def next_deadline(self) -> int | None:
+        deadlines = [
+            d.next_due for d in self._daemons if d.enabled and d.next_due is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def run_due(self, now: int) -> bool:
+        """Run every enabled daemon whose deadline is <= ``now``.
+
+        Returns True if anything ran.  Each daemon runs at most once per
+        call; catching up over a long idle gap is driven by the kernel's
+        idle loop stepping time forward.
+        """
+        ran = False
+        for daemon in self._daemons:
+            if daemon.enabled and daemon.next_due is not None and daemon.next_due <= now:
+                daemon.run(now)
+                ran = True
+        return ran

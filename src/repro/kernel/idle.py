@@ -1,0 +1,53 @@
+"""Idle page tracking, after Linux's ``page_idle`` facility.
+
+The kernel sets the PTE accessed bit on every access; the tracker
+harvests and clears those bits.  A page is *idle* if it has not been
+touched since the last time its bit was cleared.  VUsion's working-set
+estimation (§7.2 of the paper) is built on exactly this: only pages
+idle for a full scan period are considered for (fake) merging, and
+khugepaged's secure mode uses the same signal to decide which 2 MiB
+ranges are active enough to collapse.
+"""
+
+from __future__ import annotations
+
+from repro.mmu.page_table import PageTable
+from repro.mmu.pte import PageTableEntry, PteFlags
+
+
+class IdlePageTracker:
+    """Accessed-bit based idle detection over page-table leaves."""
+
+    def __init__(self) -> None:
+        self.probes = 0
+
+    def is_accessed(self, pte: PageTableEntry) -> bool:
+        """True if the page was touched since its bit was last cleared."""
+        self.probes += 1
+        return pte.accessed
+
+    def clear_accessed(self, pte: PageTableEntry) -> None:
+        """Clear the accessed bit, starting a fresh idle period."""
+        pte.clear(PteFlags.ACCESSED)
+
+    def check_and_clear(self, pte: PageTableEntry) -> bool:
+        """Harvest one page: report and reset its accessed bit."""
+        accessed = self.is_accessed(pte)
+        if accessed:
+            self.clear_accessed(pte)
+        return accessed
+
+    def active_pages_in_range(
+        self, page_table: PageTable, start: int, num_pages: int, page_size: int
+    ) -> int:
+        """Count pages of ``[start, start + n*size)`` with the bit set.
+
+        Used by the secure khugepaged policy to compute the paper's
+        ``K`` (number of active base pages inside a potential THP).
+        """
+        active = 0
+        for index in range(num_pages):
+            walk = page_table.walk(start + index * page_size)
+            if walk is not None and walk.pte.accessed:
+                active += 1
+        return active

@@ -1,0 +1,80 @@
+"""Kernel tracepoints: a structured event stream for fusion activity.
+
+The VUsion patch "reused most of KSM's original implementation and
+kernel tracing functionality" (§7); this module is the simulator's
+equivalent of those tracepoints.  Engines and the kernel emit named
+events (merges, unmerges, collapses, faults); consumers subscribe live
+or record into a bounded ring buffer for later inspection.
+
+Tracing is off by default and costs one attribute check per emit, so
+the hot paths stay fast.  Note that recording is an *experimenter*
+facility: attackers in this repository never read the trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted event."""
+
+    t_ns: int
+    name: str
+    fields: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = " ".join(f"{key}={value}" for key, value in self.fields.items())
+        return f"[{self.t_ns:>12d}] {self.name} {body}".rstrip()
+
+
+class Tracepoints:
+    """Registry of named tracepoints with optional ring-buffer capture."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self._subscribers: dict[str, list[Callable[[TraceEvent], None]]] = {}
+        self._buffer: deque[TraceEvent] | None = None
+        self.emitted = Counter()
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def record(self, capacity: int = 4096) -> None:
+        """Start capturing events into a bounded ring buffer."""
+        self._buffer = deque(maxlen=capacity)
+        self.active = True
+
+    def stop(self) -> None:
+        self.active = bool(self._subscribers)
+
+    def subscribe(self, name: str, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` on every future event named ``name``."""
+        self._subscribers.setdefault(name, []).append(callback)
+        self.active = True
+
+    # ------------------------------------------------------------------
+    # Emission and queries
+    # ------------------------------------------------------------------
+    def emit(self, now: int, name: str, **fields) -> None:
+        if not self.active:
+            return
+        event = TraceEvent(now, name, fields)
+        self.emitted[name] += 1
+        if self._buffer is not None:
+            self._buffer.append(event)
+        for callback in self._subscribers.get(name, ()):
+            callback(event)
+
+    def events(self, name: str | None = None) -> list[TraceEvent]:
+        if self._buffer is None:
+            return []
+        if name is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.name == name]
+
+    def counts(self) -> dict[str, int]:
+        return dict(self.emitted)

@@ -1,0 +1,24 @@
+"""Physical-memory substrate: page contents, frames and the buddy allocator."""
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.content import (
+    PageContent,
+    ZERO_PAGE,
+    content_digest,
+    flip_bit,
+    make_content,
+    random_content,
+)
+from repro.mem.physmem import FrameType, PhysicalMemory
+
+__all__ = [
+    "BuddyAllocator",
+    "FrameType",
+    "PageContent",
+    "PhysicalMemory",
+    "ZERO_PAGE",
+    "content_digest",
+    "flip_bit",
+    "make_content",
+    "random_content",
+]

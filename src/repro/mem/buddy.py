@@ -1,0 +1,197 @@
+"""Binary buddy allocator with deliberately predictable reuse.
+
+Like Linux's page allocator, free blocks are kept in per-order LIFO
+free lists, so the frame freed most recently is the first one handed
+back out.  The paper's Flip Feng Shui analysis hinges on exactly this
+predictability ("efficient physical memory allocators often promote
+predictable reuse"); the simulator preserves it so the attacks have the
+same substrate to exploit, and VUsion's randomized pool is layered *on
+top of* this allocator rather than replacing it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidFrameError, OutOfMemoryError
+
+#: Largest block order managed (2**10 pages = 4 MiB blocks, as in Linux).
+MAX_ORDER = 10
+
+
+class BuddyAllocator:
+    """Buddy allocator over the frame range ``[start, start + count)``.
+
+    Orders run from 0 (one frame) to :data:`MAX_ORDER`.  Blocks are
+    identified by their head frame number; alignment is with respect to
+    absolute frame numbers, as on real hardware.
+    """
+
+    def __init__(self, start: int, count: int) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.start = start
+        self.end = start + count
+        self._free_lists: list[list[int]] = [[] for _ in range(MAX_ORDER + 1)]
+        #: head pfn -> order, for every free block.
+        self._free_blocks: dict[int, int] = {}
+        self.alloc_count = 0
+        self.free_count = 0
+        self._seed_free_blocks()
+
+    def _seed_free_blocks(self) -> None:
+        """Decompose the managed range into maximal aligned free blocks."""
+        pfn = self.start
+        while pfn < self.end:
+            order = MAX_ORDER
+            while order > 0 and (pfn % (1 << order) != 0 or pfn + (1 << order) > self.end):
+                order -= 1
+            self._insert_free(pfn, order)
+            pfn += 1 << order
+
+    # ------------------------------------------------------------------
+    # Free-list primitives
+    # ------------------------------------------------------------------
+    def _insert_free(self, pfn: int, order: int) -> None:
+        self._free_lists[order].append(pfn)
+        self._free_blocks[pfn] = order
+
+    def _remove_free(self, pfn: int, order: int) -> None:
+        self._free_lists[order].remove(pfn)
+        del self._free_blocks[pfn]
+
+    def _pop_free(self, order: int) -> int:
+        pfn = self._free_lists[order].pop()
+        del self._free_blocks[pfn]
+        return pfn
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, order: int = 0) -> int:
+        """Allocate a block of ``2**order`` frames; return its head pfn.
+
+        Splits the smallest available larger block if needed; the upper
+        buddy of each split is returned to the free list, so the lower
+        half is handed out — matching Linux's ``expand()``.
+        """
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order {order} outside [0, {MAX_ORDER}]")
+        current = order
+        while current <= MAX_ORDER and not self._free_lists[current]:
+            current += 1
+        if current > MAX_ORDER:
+            raise OutOfMemoryError(f"no free block of order {order}")
+        pfn = self._pop_free(current)
+        while current > order:
+            current -= 1
+            self._insert_free(pfn + (1 << current), current)
+        self.alloc_count += 1
+        return pfn
+
+    def alloc_specific(self, pfn: int) -> int:
+        """Claim one specific free frame (WPF's page-stealing allocator).
+
+        The containing free block is split until ``pfn`` is an order-0
+        block, which is then removed.  Raises
+        :class:`InvalidFrameError` if the frame is not free.
+        """
+        found = self._block_containing(pfn)
+        if found is None:
+            raise InvalidFrameError(f"pfn {pfn} is not free")
+        head, order = found
+        self._remove_free(head, order)
+        while order > 0:
+            order -= 1
+            half = 1 << order
+            if pfn < head + half:
+                self._insert_free(head + half, order)
+            else:
+                self._insert_free(head, order)
+                head += half
+        self.alloc_count += 1
+        return pfn
+
+    # ------------------------------------------------------------------
+    # Freeing
+    # ------------------------------------------------------------------
+    def free(self, pfn: int, order: int = 0) -> None:
+        """Free the block of ``2**order`` frames headed by ``pfn``.
+
+        Coalesces with the buddy block whenever the buddy is free, the
+        same order, and fully inside the managed range.
+        """
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order {order} outside [0, {MAX_ORDER}]")
+        if pfn % (1 << order) != 0:
+            raise InvalidFrameError(f"pfn {pfn} misaligned for order {order}")
+        if pfn < self.start or pfn + (1 << order) > self.end:
+            raise InvalidFrameError(f"block {pfn}+{1 << order} outside managed range")
+        if self._overlaps_free(pfn, order):
+            raise InvalidFrameError(f"double free of pfn {pfn} (order {order})")
+        while order < MAX_ORDER:
+            buddy = pfn ^ (1 << order)
+            if (
+                self._free_blocks.get(buddy) != order
+                or buddy < self.start
+                or buddy + (1 << order) > self.end
+            ):
+                break
+            self._remove_free(buddy, order)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._insert_free(pfn, order)
+        self.free_count += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _block_containing(self, pfn: int) -> tuple[int, int] | None:
+        """Return ``(head, order)`` of the free block containing ``pfn``."""
+        if not self.start <= pfn < self.end:
+            return None
+        for order in range(MAX_ORDER + 1):
+            head = pfn & ~((1 << order) - 1)
+            if self._free_blocks.get(head) == order:
+                return head, order
+        return None
+
+    def _overlaps_free(self, pfn: int, order: int) -> bool:
+        """True if any frame of the block ``pfn``/``order`` is already free."""
+        if self._block_containing(pfn) is not None:
+            return True
+        for head_order in range(order):
+            step = 1 << head_order
+            for head in range(pfn, pfn + (1 << order), step):
+                if self._free_blocks.get(head) == head_order:
+                    return True
+        return False
+
+    def is_free(self, pfn: int) -> bool:
+        """True if frame ``pfn`` is currently free."""
+        return self._block_containing(pfn) is not None
+
+    def free_frames(self) -> int:
+        """Total number of free frames."""
+        return sum((1 << order) * len(lst) for order, lst in enumerate(self._free_lists))
+
+    def iter_free_frames_desc(self) -> Iterator[int]:
+        """Yield free frames from the top of memory downward.
+
+        This is the scan order of WPF's ``MiAllocatePagesForMdl``-style
+        linear allocator.
+        """
+        heads = sorted(self._free_blocks.items(), reverse=True)
+        for head, order in heads:
+            for pfn in range(head + (1 << order) - 1, head - 1, -1):
+                yield pfn
+
+    def iter_free_frames_asc(self) -> Iterator[int]:
+        """Yield free frames from the bottom of memory upward."""
+        heads = sorted(self._free_blocks.items())
+        for head, order in heads:
+            yield from range(head, head + (1 << order))
+
+    def free_list_snapshot(self) -> dict[int, tuple[int, ...]]:
+        """Expose the free lists (for invariant tests), order -> heads."""
+        return {order: tuple(lst) for order, lst in enumerate(self._free_lists)}

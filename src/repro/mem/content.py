@@ -1,0 +1,93 @@
+"""Canonical representation of 4 KiB page contents.
+
+A page's content is stored as an immutable ``bytes`` payload that is
+*conceptually* zero-padded to :data:`repro.params.PAGE_SIZE` bytes.  The
+canonical form strips trailing zero bytes, so the all-zero page is the
+empty payload and content equality is plain bytes equality.  This keeps
+hundreds of thousands of simulated frames cheap while preserving the
+two operations the paper's attacks need:
+
+* exact content comparison (what every fusion engine merges on), and
+* single-bit corruption at an arbitrary page offset (what Rowhammer
+  does to a physical frame, bypassing any page-table protection).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+
+from repro.params import PAGE_SIZE
+
+#: Type alias: page contents are canonical ``bytes`` payloads.
+PageContent = bytes
+
+#: The canonical all-zero page.
+ZERO_PAGE: PageContent = b""
+
+
+def make_content(data: bytes) -> PageContent:
+    """Return the canonical form of ``data`` as page content.
+
+    ``data`` may be up to :data:`PAGE_SIZE` bytes; the conceptual page
+    is ``data`` followed by zero padding.  Trailing zero bytes are
+    stripped so equal pages always compare equal.
+    """
+    if len(data) > PAGE_SIZE:
+        raise ValueError(f"page content of {len(data)} bytes exceeds {PAGE_SIZE}")
+    return data.rstrip(b"\x00")
+
+
+def is_zero(content: PageContent) -> bool:
+    """Return True if ``content`` is the all-zero page."""
+    return content == ZERO_PAGE
+
+
+def content_digest(content: PageContent) -> int:
+    """Return a 64-bit content hash (what WPF sorts its candidate list by)."""
+    digest = hashlib.blake2b(content, digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def flip_bit(content: PageContent, byte_offset: int, bit: int) -> PageContent:
+    """Return ``content`` with one bit flipped, as a Rowhammer hit would.
+
+    ``byte_offset`` addresses the conceptual 4 KiB page, so flips can
+    land in the zero-padded tail; the payload is extended as needed and
+    re-canonicalised afterwards.
+    """
+    if not 0 <= byte_offset < PAGE_SIZE:
+        raise ValueError(f"byte offset {byte_offset} outside page")
+    if not 0 <= bit < 8:
+        raise ValueError(f"bit index {bit} outside byte")
+    buf = bytearray(content)
+    if byte_offset >= len(buf):
+        buf.extend(b"\x00" * (byte_offset + 1 - len(buf)))
+    buf[byte_offset] ^= 1 << bit
+    return make_content(bytes(buf))
+
+
+def random_content(rng: random.Random, length: int = 32) -> PageContent:
+    """Return random page content with ``length`` payload bytes.
+
+    Used by workloads to model unique (unmergeable) pages; a trailing
+    non-zero byte guarantees distinct payloads stay distinct after
+    canonicalisation.
+    """
+    if not 1 <= length <= PAGE_SIZE:
+        raise ValueError(f"length {length} outside [1, {PAGE_SIZE}]")
+    body = rng.randbytes(length - 1) if length > 1 else b""
+    return make_content(body + bytes([rng.randrange(1, 256)]))
+
+
+def tagged_content(*fields: object) -> PageContent:
+    """Build deterministic content from a tuple of hashable fields.
+
+    Two calls with equal fields produce identical page contents; this
+    is how workloads express "these pages across different VMs hold the
+    same library/page-cache data".
+    """
+    text = "\x1f".join(repr(field) for field in fields)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=24).digest()
+    return make_content(digest + b"\x01")

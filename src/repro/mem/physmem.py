@@ -1,0 +1,194 @@
+"""Physical frame store: contents, reference counts, types and rmap.
+
+This is the simulator's ground truth for what each physical frame
+holds.  Fusion engines, the fault handler and the Rowhammer model all
+manipulate frames through this object, which lets the test suite assert
+the paper's key invariants (a merge only ever fuses equal contents; a
+bit flip in a shared frame is visible to *every* mapper; refcounts
+match the number of mappings).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import InvalidFrameError
+from repro.mem.content import PageContent, ZERO_PAGE
+from repro.params import PAGE_SIZE
+
+
+class FrameType(enum.Enum):
+    """Classification of a frame's current use.
+
+    Mirrors the page-type breakdown of the paper's Table 3 ("page
+    cache", "buddy", "kernel", "rest").  ``FREE`` frames live in the
+    buddy allocator or in VUsion's random pool.
+    """
+
+    FREE = "free"
+    ANON = "anon"
+    PAGE_CACHE = "page_cache"
+    KERNEL = "kernel"
+    OTHER = "other"
+
+
+class PhysicalMemory:
+    """All physical frames of the simulated machine.
+
+    Frames are identified by frame number (pfn) in ``[0, num_frames)``.
+    Contents are canonical :class:`~repro.mem.content.PageContent`
+    payloads.  The reverse map records every ``(pid, vaddr)`` mapping of
+    a frame, which is what WPF's per-process merge pass and the kernel's
+    rmap-based unmapping walk.
+    """
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self.num_frames = num_frames
+        self._contents: list[PageContent] = [ZERO_PAGE] * num_frames
+        self._refcount: list[int] = [0] * num_frames
+        self._types: list[FrameType] = [FrameType.FREE] * num_frames
+        self._rmap: dict[int, set[tuple[int, int]]] = {}
+        #: Content version per frame, bumped on every mutation.  The
+        #: Rowhammer engine uses it to model one-way charge leakage (a
+        #: cell that already flipped cannot flip again until rewritten).
+        self._versions: list[int] = [0] * num_frames
+        #: Frames pinned by a fusion engine's stable tree (KSM-style).
+        self._fusion_pinned: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def check_pfn(self, pfn: int) -> None:
+        if not 0 <= pfn < self.num_frames:
+            raise InvalidFrameError(f"pfn {pfn} outside [0, {self.num_frames})")
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    def read(self, pfn: int) -> PageContent:
+        """Return the content of frame ``pfn``."""
+        self.check_pfn(pfn)
+        return self._contents[pfn]
+
+    def write(self, pfn: int, content: PageContent) -> None:
+        """Overwrite frame ``pfn`` with canonical ``content``."""
+        self.check_pfn(pfn)
+        if len(content) > PAGE_SIZE:
+            raise InvalidFrameError("content larger than a page")
+        self._contents[pfn] = content
+        self._versions[pfn] += 1
+
+    def copy(self, src: int, dst: int) -> None:
+        """Copy the full page content of ``src`` into ``dst``."""
+        self.check_pfn(src)
+        self.check_pfn(dst)
+        self._contents[dst] = self._contents[src]
+        self._versions[dst] += 1
+
+    def corrupt_bit(self, pfn: int, byte_offset: int, bit: int) -> None:
+        """Flip one bit of frame ``pfn`` in place (Rowhammer).
+
+        This bypasses permissions, refcounts and copy-on-write — which
+        is exactly why Flip Feng Shui works against page fusion.
+        """
+        from repro.mem.content import flip_bit
+
+        self.check_pfn(pfn)
+        self._contents[pfn] = flip_bit(self._contents[pfn], byte_offset, bit)
+
+    def version(self, pfn: int) -> int:
+        """Recharge epoch of frame ``pfn``.
+
+        Bumped by CPU stores (:meth:`write`/:meth:`copy`) but *not* by
+        :meth:`corrupt_bit`: a Rowhammer-discharged cell stays
+        discharged until the frame is rewritten.
+        """
+        self.check_pfn(pfn)
+        return self._versions[pfn]
+
+    # ------------------------------------------------------------------
+    # Reference counting
+    # ------------------------------------------------------------------
+    def refcount(self, pfn: int) -> int:
+        self.check_pfn(pfn)
+        return self._refcount[pfn]
+
+    def get_ref(self, pfn: int) -> None:
+        """Increment the reference count of ``pfn``."""
+        self.check_pfn(pfn)
+        self._refcount[pfn] += 1
+
+    def put_ref(self, pfn: int) -> int:
+        """Decrement the reference count and return the new value."""
+        self.check_pfn(pfn)
+        if self._refcount[pfn] <= 0:
+            raise InvalidFrameError(f"refcount underflow on pfn {pfn}")
+        self._refcount[pfn] -= 1
+        return self._refcount[pfn]
+
+    # ------------------------------------------------------------------
+    # Frame type bookkeeping (Table 3)
+    # ------------------------------------------------------------------
+    def frame_type(self, pfn: int) -> FrameType:
+        self.check_pfn(pfn)
+        return self._types[pfn]
+
+    def set_frame_type(self, pfn: int, frame_type: FrameType) -> None:
+        self.check_pfn(pfn)
+        self._types[pfn] = frame_type
+
+    # ------------------------------------------------------------------
+    # Fusion pinning (stable-tree membership)
+    # ------------------------------------------------------------------
+    def pin_fused(self, pfn: int) -> None:
+        self.check_pfn(pfn)
+        self._fusion_pinned.add(pfn)
+
+    def unpin_fused(self, pfn: int) -> None:
+        self._fusion_pinned.discard(pfn)
+
+    def is_fused(self, pfn: int) -> bool:
+        return pfn in self._fusion_pinned
+
+    # ------------------------------------------------------------------
+    # Reverse map
+    # ------------------------------------------------------------------
+    def rmap_add(self, pfn: int, pid: int, vaddr: int) -> None:
+        """Record that process ``pid`` maps ``pfn`` at ``vaddr``."""
+        self.check_pfn(pfn)
+        self._rmap.setdefault(pfn, set()).add((pid, vaddr))
+
+    def rmap_remove(self, pfn: int, pid: int, vaddr: int) -> None:
+        entries = self._rmap.get(pfn)
+        if not entries or (pid, vaddr) not in entries:
+            raise InvalidFrameError(
+                f"rmap entry ({pid}, {vaddr:#x}) missing for pfn {pfn}"
+            )
+        entries.remove((pid, vaddr))
+        if not entries:
+            del self._rmap[pfn]
+
+    def rmap(self, pfn: int) -> frozenset[tuple[int, int]]:
+        """Return the set of ``(pid, vaddr)`` mappings of ``pfn``."""
+        self.check_pfn(pfn)
+        return frozenset(self._rmap.get(pfn, ()))
+
+    def mapped_frames(self) -> Iterator[int]:
+        """Iterate over frames with at least one virtual mapping."""
+        return iter(sorted(self._rmap))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def frames_in_use(self) -> int:
+        """Number of frames not currently free."""
+        return sum(1 for t in self._types if t is not FrameType.FREE)
+
+    def type_histogram(self) -> dict[FrameType, int]:
+        histogram: dict[FrameType, int] = {t: 0 for t in FrameType}
+        for frame_type in self._types:
+            histogram[frame_type] += 1
+        return histogram

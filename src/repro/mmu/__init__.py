@@ -1,0 +1,16 @@
+"""Virtual-memory substrate: PTEs, page tables, TLBs and address spaces."""
+
+from repro.mmu.address_space import AddressSpace, Vma
+from repro.mmu.page_table import PageTable, TranslationResult
+from repro.mmu.pte import PteFlags, PageTableEntry
+from repro.mmu.tlb import Tlb
+
+__all__ = [
+    "AddressSpace",
+    "PageTable",
+    "PageTableEntry",
+    "PteFlags",
+    "Tlb",
+    "TranslationResult",
+    "Vma",
+]

@@ -1,0 +1,35 @@
+"""Synthetic workloads mirroring the paper's benchmark suite."""
+
+from repro.workloads.base import OperationStats, Workload
+from repro.workloads.vm_image import (
+    DISTRO_IMAGES,
+    GuestVm,
+    VmImageSpec,
+    boot_vm,
+    diverse_images,
+)
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.keyvalue import KeyValueWorkload
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+from repro.workloads.postmark import PostmarkWorkload
+from repro.workloads.spec import SPEC_BENCHMARKS
+from repro.workloads.stream import StreamWorkload
+from repro.workloads.synthetic import BenchSpec, SyntheticBenchmark
+
+__all__ = [
+    "ApacheWorkload",
+    "BenchSpec",
+    "DISTRO_IMAGES",
+    "GuestVm",
+    "KeyValueWorkload",
+    "OperationStats",
+    "PARSEC_BENCHMARKS",
+    "PostmarkWorkload",
+    "SPEC_BENCHMARKS",
+    "StreamWorkload",
+    "SyntheticBenchmark",
+    "VmImageSpec",
+    "Workload",
+    "boot_vm",
+    "diverse_images",
+]

@@ -1,0 +1,94 @@
+"""An Apache-like web-server workload (Table 5, Figs. 4/9/12).
+
+Requests read a skewed subset of the guest page cache (the served
+documents — identical across VMs of one image, hence prime fusion
+material that is nonetheless *hot*), touch per-worker heap state and
+append to a log page.  Apache's self-balancing prefork model is
+modelled by growing the worker pool (new unique heap pages) as
+requests arrive, which is what makes memory consumption rise during
+the benchmark in Fig. 12.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+from repro.workloads.base import OperationStats, Workload, skewed_index
+from repro.workloads.vm_image import GuestVm
+
+
+class ApacheWorkload(Workload):
+    """Request loop over a booted VM's page cache plus worker heaps."""
+
+    name = "apache"
+
+    def __init__(
+        self,
+        vm: GuestVm,
+        max_worker_pages: int = 256,
+        docs_per_request: int = 12,
+        heap_touches: int = 4,
+        expand_every: int = 25,
+        compute_ns: int = 6000,
+        seed: int = 23,
+    ) -> None:
+        self.vm = vm
+        self.process = vm.process
+        self.rng = random.Random(seed ^ vm.process.pid)
+        self.docs_per_request = docs_per_request
+        self.heap_touches = heap_touches
+        self.expand_every = expand_every
+        self.compute_ns = compute_ns
+        self.heap = self.process.mmap(
+            max_worker_pages, name="apache-workers", mergeable=True
+        )
+        self.heap.extra["guest_kind"] = "rest"
+        self.worker_pages = 8
+        for index in range(self.worker_pages):
+            self._write_heap(index)
+        self.log_cursor = 0
+
+    def _write_heap(self, index: int) -> None:
+        self.process.write(
+            self.heap.start + index * PAGE_SIZE,
+            tagged_content("apache-heap", self.process.name, index, self.rng.random()),
+        )
+
+    def _expand_workers(self) -> None:
+        if self.worker_pages < self.heap.num_pages:
+            self._write_heap(self.worker_pages)
+            self.worker_pages += 1
+
+    def request(self) -> int:
+        """Serve one request; returns its simulated latency."""
+        process = self.process
+        cache = self.vm.region("page_cache")
+        process.kernel.clock.advance(self.compute_ns)
+        latency = self.compute_ns
+        for _ in range(self.docs_per_request):
+            index = skewed_index(self.rng, cache.num_pages, skew=2.2)
+            latency += process.read(cache.start + index * PAGE_SIZE).latency
+        for _ in range(self.heap_touches):
+            index = self.rng.randrange(self.worker_pages)
+            latency += process.read(self.heap.start + index * PAGE_SIZE).latency
+        # Log append: rewrite the current log page (worker heap tail).
+        log_index = self.log_cursor % self.worker_pages
+        self.log_cursor += 1
+        latency += process.write(
+            self.heap.start + log_index * PAGE_SIZE,
+            tagged_content("apache-log", self.process.name, self.log_cursor),
+        ).latency
+        return latency
+
+    def run(self, operations: int) -> OperationStats:
+        stats = OperationStats(self.name)
+        start = self.process.kernel.clock.now
+        for count in range(operations):
+            stats.latencies.append(self.request())
+            stats.operations += 1
+            if count % self.expand_every == self.expand_every - 1:
+                self._expand_workers()
+        stats.simulated_ns = self.process.kernel.clock.now - start
+        return stats

@@ -1,0 +1,64 @@
+"""Workload plumbing: operation statistics and access-pattern helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.params import SECOND
+
+
+@dataclass
+class OperationStats:
+    """Latency/throughput record of one workload run.
+
+    ``latencies`` holds one simulated-ns value per logical operation
+    (request, transaction, GET/SET, ...).  Throughput is operations per
+    simulated second — the quantity the paper's tables report.
+    """
+
+    name: str
+    operations: int = 0
+    simulated_ns: int = 0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.simulated_ns == 0:
+            return 0.0
+        return self.operations * SECOND / self.simulated_ns
+
+    def percentile(self, pct: float) -> int:
+        if not self.latencies:
+            return 0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, math.ceil(pct / 100 * len(ordered)) - 1)
+        return ordered[max(0, index)]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+def skewed_index(rng: random.Random, n: int, skew: float = 3.0) -> int:
+    """Power-law-skewed index in [0, n): low indices are hot.
+
+    ``skew=1`` is uniform; larger values concentrate accesses, giving
+    the hot/cold page split that drives both the fusion benefits (cold
+    pages merge) and the cost of S⊕F (cold pages fault on re-access).
+    """
+    return min(n - 1, int(n * (rng.random() ** skew)))
+
+
+class Workload(ABC):
+    """A runnable benchmark bound to a guest VM."""
+
+    name = "workload"
+
+    @abstractmethod
+    def run(self, operations: int) -> OperationStats:
+        """Execute ``operations`` logical operations; return stats."""

@@ -1,0 +1,138 @@
+"""Redis/Memcached-like key-value stores (Tables 6 and 7).
+
+A large value heap with a skewed key popularity distribution: the hot
+keys stay in the working set while the long cold tail is exactly what
+page fusion grabs — and what S⊕F must fault back in when a cold key is
+suddenly requested, which is where VUsion's tail-latency cost shows
+up.  GET/SET ratio follows the paper's memtier configuration (1:10).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernel.process import Process
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+from repro.workloads.base import OperationStats, Workload, skewed_index
+
+
+class KeyValueWorkload(Workload):
+    """A key-value store with per-operation latency tracking."""
+
+    def __init__(
+        self,
+        process: Process,
+        kind: str = "redis",
+        value_pages: int = 1024,
+        index_pages: int = 32,
+        set_ratio: float = 1 / 11,
+        skew: float = 2.5,
+        compute_ns: int = 3500,
+        default_fraction: float | None = None,
+        seed: int = 31,
+    ) -> None:
+        if kind not in ("redis", "memcached"):
+            raise ValueError(f"unknown store kind {kind!r}")
+        self.name = kind
+        self.process = process
+        self.rng = random.Random(seed ^ process.pid)
+        self.set_ratio = set_ratio
+        self.skew = skew
+        self.compute_ns = compute_ns
+        # Memcached's slab allocator spreads values wider than Redis's
+        # jemalloc arenas: flatter skew, larger footprint, but fewer
+        # identical default-object pages.  Pages full of never-written
+        # or default-valued 32-byte objects are byte-identical and are
+        # what fusion grabs inside a key-value store's heap.
+        if kind == "memcached":
+            self.skew = max(1.6, skew - 0.6)
+            value_pages = int(value_pages * 1.25)
+            self.default_fraction = 0.2 if default_fraction is None else default_fraction
+        else:
+            self.default_fraction = 0.4 if default_fraction is None else default_fraction
+        self.values = process.mmap(
+            value_pages, name=f"{kind}-values", mergeable=True
+        )
+        self.values.extra["guest_kind"] = "rest"
+        self.index = process.mmap(
+            index_pages, name=f"{kind}-index", mergeable=True
+        )
+        self.index.extra["guest_kind"] = "rest"
+        for page in range(value_pages):
+            self._store(page, generation=0)
+        for page in range(index_pages):
+            process.write(
+                self.index.start + page * PAGE_SIZE,
+                tagged_content(kind, "index", process.name, page),
+            )
+        self._generation = 1
+
+    def _store(self, page: int, generation: int) -> int:
+        if generation == 0 and (page * 2654435761) % 1024 < 1024 * self.default_fraction:
+            # A slab page still holding only default-initialised
+            # objects: identical to every other such page.
+            content = tagged_content(self.name, "default-object", self.process.name)
+        else:
+            content = tagged_content(
+                self.name, "value", self.process.name, page, generation
+            )
+        return self.process.write(
+            self.values.start + page * PAGE_SIZE, content
+        ).latency
+
+    def get(self) -> int:
+        """One GET: hashtable lookup + value read."""
+        page = skewed_index(self.rng, self.values.num_pages, self.skew)
+        index_page = page % self.index.num_pages
+        self.process.kernel.clock.advance(self.compute_ns)
+        latency = self.compute_ns
+        latency += self.process.read(
+            self.index.start + index_page * PAGE_SIZE
+        ).latency
+        latency += self.process.read(
+            self.values.start + page * PAGE_SIZE
+        ).latency
+        return latency
+
+    def set(self) -> int:
+        """One SET: hashtable update + value write."""
+        page = skewed_index(self.rng, self.values.num_pages, self.skew)
+        index_page = page % self.index.num_pages
+        self.process.kernel.clock.advance(self.compute_ns)
+        latency = self.compute_ns
+        latency += self.process.read(
+            self.index.start + index_page * PAGE_SIZE
+        ).latency
+        self._generation += 1
+        latency += self._store(page, self._generation)
+        return latency
+
+    def run(self, operations: int) -> OperationStats:
+        stats = OperationStats(self.name)
+        stats.extra_get = []  # type: ignore[attr-defined]
+        stats.extra_set = []  # type: ignore[attr-defined]
+        start = self.process.kernel.clock.now
+        for _ in range(operations):
+            if self.rng.random() < self.set_ratio:
+                latency = self.set()
+                stats.extra_set.append(latency)  # type: ignore[attr-defined]
+            else:
+                latency = self.get()
+                stats.extra_get.append(latency)  # type: ignore[attr-defined]
+            stats.latencies.append(latency)
+            stats.operations += 1
+        stats.simulated_ns = self.process.kernel.clock.now - start
+        return stats
+
+    def run_split(self, operations: int) -> tuple[OperationStats, OperationStats, OperationStats]:
+        """Run and return (all, gets, sets) statistics separately."""
+        stats = self.run(operations)
+        gets = OperationStats(f"{self.name}-get")
+        gets.latencies = stats.extra_get  # type: ignore[attr-defined]
+        gets.operations = len(gets.latencies)
+        sets = OperationStats(f"{self.name}-set")
+        sets.latencies = stats.extra_set  # type: ignore[attr-defined]
+        sets.operations = len(sets.latencies)
+        gets.simulated_ns = sets.simulated_ns = stats.simulated_ns
+        return stats, gets, sets

@@ -1,0 +1,29 @@
+"""The PARSEC-like parallel suite (Fig. 8).
+
+PARSEC benchmarks are modelled like the SPEC ones but with larger
+shared working sets and more writes (parallel producers/consumers).
+``fmm``, ``barnes`` and the ``netapps`` category are excluded exactly
+as in the paper (§9.2).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import BenchSpec
+
+PARSEC_BENCHMARKS: list[BenchSpec] = [
+    BenchSpec("blackscholes", pages=384, reads_per_op=12, writes_per_op=4, skew=2.5),
+    BenchSpec("bodytrack", pages=512, reads_per_op=14, writes_per_op=5, skew=2.8),
+    BenchSpec("canneal", pages=1024, reads_per_op=16, writes_per_op=4, skew=1.5,
+              cold_touch_rate=0.25),
+    BenchSpec("dedup", pages=768, reads_per_op=13, writes_per_op=7, skew=2.0),
+    BenchSpec("facesim", pages=640, reads_per_op=14, writes_per_op=5, skew=2.2),
+    BenchSpec("ferret", pages=512, reads_per_op=13, writes_per_op=4, skew=2.6),
+    BenchSpec("fluidanimate", pages=640, reads_per_op=15, writes_per_op=6, skew=2.0),
+    BenchSpec("freqmine", pages=512, reads_per_op=13, writes_per_op=3, skew=3.0),
+    BenchSpec("raytrace", pages=448, reads_per_op=12, writes_per_op=2, skew=3.2),
+    BenchSpec("streamcluster", pages=768, reads_per_op=15, writes_per_op=4, skew=1.6,
+              cold_touch_rate=0.2),
+    BenchSpec("swaptions", pages=256, reads_per_op=10, writes_per_op=3, skew=4.0),
+    BenchSpec("vips", pages=512, reads_per_op=13, writes_per_op=5, skew=2.4),
+    BenchSpec("x264", pages=448, reads_per_op=13, writes_per_op=6, skew=2.6),
+]

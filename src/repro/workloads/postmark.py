@@ -1,0 +1,139 @@
+"""A Postmark-like mail-server workload (Table 4).
+
+Transactions create, read, append-to and delete small "files" living
+in the guest page cache: heavy page-cache churn, the workload class
+the paper says benefits most from fusion-friendly idle page-cache
+pages while stressing the fault paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+from repro.workloads.base import OperationStats, Workload
+from repro.workloads.vm_image import GuestVm
+
+
+@dataclass
+class _MailFile:
+    start_page: int
+    pages: int
+    generation: int = 0
+
+
+class PostmarkWorkload(Workload):
+    """File-transaction loop over a VM's page-cache region."""
+
+    name = "postmark"
+
+    def __init__(
+        self,
+        vm: GuestVm,
+        initial_files: int = 48,
+        file_pages: int = 4,
+        compute_ns: int = 12_000,
+        seed: int = 41,
+    ) -> None:
+        self.vm = vm
+        self.process = vm.process
+        self.rng = random.Random(seed ^ vm.process.pid)
+        self.file_pages = file_pages
+        self.compute_ns = compute_ns
+        region = vm.region("page_cache")
+        self.capacity = region.num_pages // file_pages
+        self._free_slots = list(range(self.capacity))
+        self.rng.shuffle(self._free_slots)
+        self._files: dict[int, _MailFile] = {}
+        self._next_id = 0
+        for _ in range(min(initial_files, self.capacity)):
+            self._create()
+
+    # ------------------------------------------------------------------
+    # File operations (each returns simulated latency)
+    # ------------------------------------------------------------------
+    def _page_addr(self, mail_file: _MailFile, index: int) -> int:
+        region = self.vm.region("page_cache")
+        return region.start + (mail_file.start_page + index) * PAGE_SIZE
+
+    def _write_file(self, file_id: int, mail_file: _MailFile) -> int:
+        latency = 0
+        for index in range(mail_file.pages):
+            latency += self.process.write(
+                self._page_addr(mail_file, index),
+                tagged_content(
+                    "mail", self.process.name, file_id, mail_file.generation, index
+                ),
+            ).latency
+        return latency
+
+    def _create(self) -> int:
+        if not self._free_slots:
+            return 0
+        slot = self._free_slots.pop()
+        file_id = self._next_id
+        self._next_id += 1
+        mail_file = _MailFile(start_page=slot * self.file_pages, pages=self.file_pages)
+        self._files[file_id] = mail_file
+        return self._write_file(file_id, mail_file)
+
+    def _delete(self) -> int:
+        if not self._files:
+            return 0
+        file_id = self.rng.choice(list(self._files))
+        mail_file = self._files.pop(file_id)
+        self._free_slots.append(mail_file.start_page // self.file_pages)
+        # Deleting zeroes the cached pages (the guest frees them).
+        latency = 0
+        for index in range(mail_file.pages):
+            latency += self.process.write(self._page_addr(mail_file, index), b"").latency
+        return latency
+
+    def _read(self) -> int:
+        if not self._files:
+            return 0
+        mail_file = self._files[self.rng.choice(list(self._files))]
+        latency = 0
+        for index in range(mail_file.pages):
+            latency += self.process.read(self._page_addr(mail_file, index)).latency
+        return latency
+
+    def _append(self) -> int:
+        if not self._files:
+            return 0
+        file_id = self.rng.choice(list(self._files))
+        mail_file = self._files[file_id]
+        mail_file.generation += 1
+        return self.process.write(
+            self._page_addr(mail_file, mail_file.pages - 1),
+            tagged_content("mail", self.process.name, file_id,
+                           mail_file.generation, "tail"),
+        ).latency
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def transaction(self) -> int:
+        """One Postmark transaction: a read or append, plus churn."""
+        self.process.kernel.clock.advance(self.compute_ns)
+        roll = self.rng.random()
+        if roll < 0.4:
+            latency = self._read()
+        elif roll < 0.8:
+            latency = self._append()
+        elif roll < 0.9:
+            latency = self._create()
+        else:
+            latency = self._delete()
+        return self.compute_ns + latency
+
+    def run(self, operations: int) -> OperationStats:
+        stats = OperationStats(self.name)
+        start = self.process.kernel.clock.now
+        for _ in range(operations):
+            stats.latencies.append(self.transaction())
+            stats.operations += 1
+        stats.simulated_ns = self.process.kernel.clock.now - start
+        return stats

@@ -1,0 +1,36 @@
+"""The SPEC CPU2006-like benchmark suite (Fig. 7).
+
+One :class:`~repro.workloads.synthetic.BenchSpec` per SPEC CPU2006
+component the paper plots, with memory sizes and access mixes chosen
+to echo each benchmark's published character (mcf/lbm: large and
+cache-hostile; povray/sjeng: small and compute-bound; etc.).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import BenchSpec
+
+SPEC_BENCHMARKS: list[BenchSpec] = [
+    BenchSpec("perlbench", pages=384, reads_per_op=10, writes_per_op=4, skew=3.5),
+    BenchSpec("bzip2", pages=512, reads_per_op=12, writes_per_op=6, skew=2.5),
+    BenchSpec("gcc", pages=640, reads_per_op=14, writes_per_op=5, skew=3.0),
+    BenchSpec("mcf", pages=1024, reads_per_op=16, writes_per_op=3, skew=1.6,
+              cold_touch_rate=0.2),
+    BenchSpec("milc", pages=768, reads_per_op=14, writes_per_op=4, skew=1.8,
+              cold_touch_rate=0.15),
+    BenchSpec("namd", pages=320, reads_per_op=12, writes_per_op=2, skew=4.0),
+    BenchSpec("gobmk", pages=256, reads_per_op=10, writes_per_op=3, skew=4.0),
+    BenchSpec("soplex", pages=640, reads_per_op=13, writes_per_op=4, skew=2.2),
+    BenchSpec("povray", pages=192, reads_per_op=9, writes_per_op=2, skew=5.0),
+    BenchSpec("hmmer", pages=256, reads_per_op=11, writes_per_op=3, skew=4.5),
+    BenchSpec("sjeng", pages=224, reads_per_op=10, writes_per_op=3, skew=4.5),
+    BenchSpec("libquantum", pages=512, reads_per_op=12, writes_per_op=2, skew=1.5,
+              cold_touch_rate=0.25),
+    BenchSpec("h264ref", pages=384, reads_per_op=12, writes_per_op=4, skew=3.0),
+    BenchSpec("lbm", pages=896, reads_per_op=15, writes_per_op=6, skew=1.4,
+              cold_touch_rate=0.3),
+    BenchSpec("omnetpp", pages=512, reads_per_op=12, writes_per_op=4, skew=2.0),
+    BenchSpec("astar", pages=448, reads_per_op=11, writes_per_op=3, skew=2.5),
+    BenchSpec("sphinx3", pages=384, reads_per_op=12, writes_per_op=2, skew=2.8),
+    BenchSpec("xalancbmk", pages=512, reads_per_op=13, writes_per_op=4, skew=3.2),
+]

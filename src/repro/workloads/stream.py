@@ -1,0 +1,88 @@
+"""The Stream memory-bandwidth microbenchmark (Table 2).
+
+Four kernels (copy/scale/add/triad) sweep three page arrays
+sequentially.  Everything is working set, so fusion engines have
+almost nothing to do; the only overhead is the scan daemon's stolen
+CPU time — the paper reports <1% for all configurations.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.process import Process
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE, SECOND
+from repro.workloads.base import OperationStats, Workload
+
+
+class StreamWorkload(Workload):
+    """Sequential read/write sweeps over three arrays."""
+
+    name = "stream"
+
+    def __init__(self, process: Process, array_pages: int = 512) -> None:
+        self.process = process
+        self.array_pages = array_pages
+        self.arrays = {}
+        for label in "abc":
+            vma = process.mmap(
+                array_pages, name=f"stream-{label}", mergeable=True
+            )
+            for index in range(array_pages):
+                process.write(
+                    vma.start + index * PAGE_SIZE,
+                    tagged_content("stream", process.name, label, index),
+                )
+            self.arrays[label] = vma
+
+    def _addr(self, label: str, index: int) -> int:
+        return self.arrays[label].start + index * PAGE_SIZE
+
+    def _sweep(self, reads: tuple[str, ...], writes: tuple[str, ...]) -> tuple[int, int]:
+        """One kernel pass; returns (simulated_ns, bytes_moved)."""
+        process = self.process
+        start = process.kernel.clock.now
+        moved = 0
+        for index in range(self.array_pages):
+            for label in reads:
+                process.read(self._addr(label, index))
+                moved += PAGE_SIZE
+            for label in writes:
+                process.write(
+                    self._addr(label, index),
+                    tagged_content("stream-out", process.name, label, index),
+                )
+                moved += PAGE_SIZE
+        return process.kernel.clock.now - start, moved
+
+    def kernel_bandwidth(self, kernel_name: str, iterations: int = 3) -> float:
+        """MB/s of one Stream kernel (mean over ``iterations``).
+
+        The mean (not the best) is reported so that scan-daemon time
+        stolen from the sweep shows up, as it does on real hardware.
+        """
+        patterns = {
+            "copy": (("a",), ("c",)),
+            "scale": (("c",), ("b",)),
+            "add": (("a", "b"), ("c",)),
+            "triad": (("b", "c"), ("a",)),
+        }
+        reads, writes = patterns[kernel_name]
+        total_ns = 0
+        total_bytes = 0
+        for _ in range(iterations):
+            elapsed, moved = self._sweep(reads, writes)
+            total_ns += elapsed
+            total_bytes += moved
+        if total_ns == 0:
+            return 0.0
+        return total_bytes / (1024 * 1024) * SECOND / total_ns
+
+    def run(self, operations: int = 3) -> OperationStats:
+        stats = OperationStats(self.name)
+        start = self.process.kernel.clock.now
+        for _ in range(operations):
+            for kernel_name in ("copy", "scale", "add", "triad"):
+                self.kernel_bandwidth(kernel_name, iterations=1)
+                stats.operations += 1
+        stats.simulated_ns = self.process.kernel.clock.now - start
+        return stats

@@ -1,0 +1,87 @@
+"""Parameterised synthetic CPU/memory benchmarks (SPEC & PARSEC stand-ins).
+
+Each benchmark is a named access-pattern over a private working set:
+so many pages, a hot fraction, a read/write mix and a skew.  The suite
+definitions in :mod:`repro.workloads.spec` and
+:mod:`repro.workloads.parsec` instantiate one entry per benchmark the
+paper's Figs. 7/8 plot.  Absolute runtimes are meaningless; the
+*overhead ratio* between fusion configurations is the reproduced
+quantity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.kernel.process import Process
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE
+from repro.workloads.base import OperationStats, Workload, skewed_index
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Shape of one synthetic benchmark."""
+
+    name: str
+    pages: int = 512
+    reads_per_op: int = 12
+    writes_per_op: int = 3
+    skew: float = 3.0
+    #: Fraction of operations touching the cold tail explicitly
+    #: (benchmarks with streaming phases revisit cold data).
+    cold_touch_rate: float = 0.05
+    #: Pure-compute time per operation (ns): the non-memory work that
+    #: dilutes memory-system overheads into realistic percentages.
+    compute_ns: int = 12_000
+
+
+class SyntheticBenchmark(Workload):
+    """One SPEC/PARSEC-style benchmark running inside a process."""
+
+    def __init__(self, process: Process, spec: BenchSpec, seed: int = 11) -> None:
+        self.process = process
+        self.spec = spec
+        self.name = spec.name
+        self.rng = random.Random((seed << 16) ^ hash(spec.name) & 0xFFFF)
+        self.vma = process.mmap(
+            spec.pages, name=f"bench:{spec.name}", mergeable=True
+        )
+        for index in range(spec.pages):
+            process.write(
+                self.vma.start + index * PAGE_SIZE,
+                tagged_content("bench", process.name, spec.name, index),
+            )
+        self._cold_cursor = 0
+
+    def _page(self, index: int) -> int:
+        return self.vma.start + index * PAGE_SIZE
+
+    def run(self, operations: int) -> OperationStats:
+        stats = OperationStats(self.name)
+        process, spec, rng = self.process, self.spec, self.rng
+        start = process.kernel.clock.now
+        for _ in range(operations):
+            process.kernel.clock.advance(spec.compute_ns)
+            op_ns = spec.compute_ns
+            for _ in range(spec.reads_per_op):
+                index = skewed_index(rng, spec.pages, spec.skew)
+                op_ns += process.read(self._page(index)).latency
+            for _ in range(spec.writes_per_op):
+                index = skewed_index(rng, spec.pages, spec.skew)
+                op_ns += process.write(
+                    self._page(index),
+                    tagged_content("bench-dirty", process.name, spec.name, index,
+                                   rng.random()),
+                ).latency
+            if rng.random() < spec.cold_touch_rate:
+                # Streaming sweep step: revisit a cold page.
+                self._cold_cursor = (self._cold_cursor + 1) % spec.pages
+                op_ns += process.read(
+                    self._page(spec.pages - 1 - self._cold_cursor)
+                ).latency
+            stats.operations += 1
+            stats.latencies.append(op_ns)
+        stats.simulated_ns = process.kernel.clock.now - start
+        return stats

@@ -1,0 +1,157 @@
+"""Synthetic VM images with realistic cross-VM duplicate structure.
+
+Two VMs booted from the same image hold byte-identical guest-kernel,
+library/page-cache and stale-free pages in distinct physical frames —
+the duplicate pools that page fusion harvests.  Region sizes follow the
+paper's Table 3 breakdown of where fusion benefits come from: the
+guest page cache (~52%) and the guest buddy allocator's free pages
+(~38%, largely zeroed), with smaller kernel and "rest" contributions.
+
+All regions are anonymous guest RAM from the host's point of view
+(exactly the KVM situation KSM targets), tagged with their guest-side
+role in ``vma.extra["guest_kind"]`` so experiments can classify merged
+pages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.mem.content import ZERO_PAGE, tagged_content
+from repro.mmu.address_space import Vma
+from repro.params import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class VmImageSpec:
+    """Sizes (in pages) of one VM image's memory regions."""
+
+    name: str
+    distro: str
+    kernel_pages: int = 128
+    page_cache_pages: int = 768
+    free_pages: int = 640
+    app_pages: int = 256
+    #: Fraction of guest-free pages holding zeros (rest: stale distro data).
+    zero_free_fraction: float = 0.75
+
+    @property
+    def total_pages(self) -> int:
+        return (
+            self.kernel_pages
+            + self.page_cache_pages
+            + self.free_pages
+            + self.app_pages
+        )
+
+
+#: A few standard distro images for homogeneous-cloud scenarios.
+DISTRO_IMAGES = {
+    "debian": VmImageSpec(name="debian", distro="debian-9"),
+    "ubuntu": VmImageSpec(name="ubuntu", distro="ubuntu-16.04"),
+    "centos": VmImageSpec(name="centos", distro="centos-7"),
+}
+
+
+def diverse_images(count: int, seed: int = 7) -> list[VmImageSpec]:
+    """Images mimicking the paper's 44-image DAS-4 registry: several
+    distros with varying software stacks and memory mixes."""
+    rng = random.Random(seed)
+    distros = [
+        "debian-9", "debian-8", "ubuntu-16.04", "ubuntu-14.04",
+        "centos-7", "centos-6", "fedora-25", "alpine-3.5",
+    ]
+    images = []
+    for index in range(count):
+        distro = distros[index % len(distros)]
+        images.append(
+            VmImageSpec(
+                name=f"das4-{index:02d}",
+                distro=distro,
+                kernel_pages=rng.choice([96, 128, 160]),
+                page_cache_pages=rng.choice([512, 640, 768, 896]),
+                free_pages=rng.choice([384, 512, 640]),
+                app_pages=rng.choice([128, 256, 384]),
+                zero_free_fraction=rng.uniform(0.6, 0.9),
+            )
+        )
+    return images
+
+
+class GuestVm:
+    """A booted VM: one process with tagged guest-RAM regions."""
+
+    def __init__(self, process: Process, image: VmImageSpec) -> None:
+        self.process = process
+        self.image = image
+        self.regions: dict[str, Vma] = {}
+        self.rng = random.Random((hash(process.name) & 0xFFFF) | 0x10000)
+
+    def region(self, guest_kind: str) -> Vma:
+        return self.regions[guest_kind]
+
+    def page_addr(self, guest_kind: str, index: int) -> int:
+        return self.regions[guest_kind].start + index * PAGE_SIZE
+
+    @property
+    def total_pages(self) -> int:
+        return self.image.total_pages
+
+
+def boot_vm(
+    kernel: Kernel,
+    name: str,
+    image: VmImageSpec,
+    mergeable: bool = True,
+) -> GuestVm:
+    """Create and populate a VM from an image.
+
+    Populating writes every page, so with THP-on-fault enabled the VM
+    boots with huge-page-backed RAM, exactly the initial condition of
+    the paper's Fig. 9.
+    """
+    process = kernel.create_process(name)
+    vm = GuestVm(process, image)
+    spec = image
+
+    def make_region(kind: str, pages: int) -> Vma:
+        vma = process.mmap(pages, name=f"{name}:{kind}", mergeable=mergeable)
+        vma.extra["guest_kind"] = kind
+        vm.regions[kind] = vma
+        return vma
+
+    kernel_vma = make_region("kernel", spec.kernel_pages)
+    for index in range(spec.kernel_pages):
+        process.write(
+            kernel_vma.start + index * PAGE_SIZE,
+            tagged_content("guest-kernel", spec.distro, index),
+        )
+
+    cache_vma = make_region("page_cache", spec.page_cache_pages)
+    for index in range(spec.page_cache_pages):
+        process.write(
+            cache_vma.start + index * PAGE_SIZE,
+            tagged_content("guest-page-cache", spec.distro, index),
+        )
+
+    free_vma = make_region("buddy", spec.free_pages)
+    zero_cutoff = int(spec.free_pages * spec.zero_free_fraction)
+    for index in range(spec.free_pages):
+        if index < zero_cutoff:
+            content = ZERO_PAGE
+        else:
+            # Stale data left behind by the guest's boot: identical
+            # across same-image VMs.
+            content = tagged_content("guest-stale", spec.distro, index)
+        process.write(free_vma.start + index * PAGE_SIZE, content)
+
+    app_vma = make_region("rest", spec.app_pages)
+    for index in range(spec.app_pages):
+        process.write(
+            app_vma.start + index * PAGE_SIZE,
+            tagged_content("guest-app", name, vm.rng.random(), index),
+        )
+    return vm

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.mem.content import tagged_content
+from repro.params import FusionConfig, MachineSpec, MS
+
+
+def small_spec(frames: int = 4096, seed: int = 1017) -> MachineSpec:
+    return MachineSpec(total_frames=frames, seed=seed)
+
+
+def fast_fusion(pages: int = 64, interval_ms: int = 20) -> FusionConfig:
+    return FusionConfig(pages_per_scan=pages, scan_interval=interval_ms * MS)
+
+
+def dup(tag: object, index: int = 0) -> bytes:
+    """Deterministic duplicate-able page content."""
+    return tagged_content("test-dup", tag, index)
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A small bare kernel (no fusion engine)."""
+    return Kernel(small_spec())
+
+
+@pytest.fixture
+def kernel_thp() -> Kernel:
+    """A kernel with THP-on-fault enabled."""
+    return Kernel(small_spec(frames=16384), thp_fault_enabled=True)

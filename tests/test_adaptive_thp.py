@@ -1,0 +1,106 @@
+"""Tests for the adaptive THP threshold policy (the §8.1 extension)."""
+
+from __future__ import annotations
+
+from repro.kernel.adaptive_thp import AdaptiveThpConfig, AdaptiveThpPolicy
+from repro.kernel.kernel import Kernel
+from repro.kernel.khugepaged import Khugepaged
+from repro.params import PAGE_SIZE, SECOND
+
+from tests.conftest import small_spec
+
+
+def make_policy(frames=16384, **config_overrides):
+    kernel = Kernel(small_spec(frames=frames))
+    khugepaged = Khugepaged(kernel, period=100 * SECOND, secure=True,
+                            active_threshold=64)
+    config = AdaptiveThpConfig(period=SECOND, **config_overrides)
+    policy = AdaptiveThpPolicy(kernel, khugepaged, config)
+    return kernel, khugepaged, policy
+
+
+class TestSignals:
+    def test_miss_rate_zero_without_traffic(self):
+        _kernel, _kh, policy = make_policy()
+        assert policy.tlb_miss_rate() == 0.0
+
+    def test_miss_rate_counts_deltas(self):
+        kernel, _kh, policy = make_policy()
+        proc = kernel.create_process("p")
+        vma = proc.mmap(256)
+        for index in range(256):
+            proc.write(vma.start + index * PAGE_SIZE, bytes([1 + index % 200]))
+        proc.tlb.flush()
+        for index in range(256):
+            proc.read(vma.start + index * PAGE_SIZE)
+        first = policy.tlb_miss_rate()
+        assert first > 0
+        # No traffic since: the next window reads zero.
+        assert policy.tlb_miss_rate() == 0.0
+
+    def test_free_fraction(self):
+        kernel, _kh, policy = make_policy()
+        assert 0.9 < policy.free_fraction() <= 1.0
+
+
+class TestControlLoop:
+    def test_translation_starved_lowers_threshold(self):
+        kernel, khugepaged, policy = make_policy()
+        proc = kernel.create_process("p")
+        # A working set far beyond TLB reach: constant misses.
+        vma = proc.mmap(512)
+        for index in range(512):
+            proc.write(vma.start + index * PAGE_SIZE, bytes([1 + index % 200]))
+        before = khugepaged.active_threshold
+        kernel.idle(SECOND)
+        for round_index in range(6):
+            for index in range(0, 512, 3):
+                proc.read(vma.start + ((index * 97) % 512) * PAGE_SIZE)
+            kernel.idle(SECOND)
+        assert khugepaged.active_threshold < before
+        assert policy.adjustments
+
+    def test_memory_pressure_raises_threshold(self):
+        kernel, khugepaged, policy = make_policy(frames=4096)
+        proc = kernel.create_process("p")
+        # Consume >75% of memory with one warm page re-read (no misses).
+        vma = proc.mmap(3300)
+        for index in range(3300):
+            proc.write(vma.start + index * PAGE_SIZE, bytes([1 + index % 200]))
+        kernel.idle(SECOND)  # absorb the boot-write miss burst
+        before = khugepaged.active_threshold
+        for _ in range(4):
+            for _ in range(50):
+                proc.read(vma.start)  # pure TLB hits
+            kernel.idle(SECOND)
+        assert khugepaged.active_threshold > before
+
+    def test_threshold_clamped(self):
+        kernel, khugepaged, policy = make_policy(
+            min_threshold=1, max_threshold=8, step=100
+        )
+        khugepaged.active_threshold = 4
+        proc = kernel.create_process("p")
+        vma = proc.mmap(512)
+        for index in range(512):
+            proc.write(vma.start + index * PAGE_SIZE, bytes([1 + index % 200]))
+        for _ in range(3):
+            for index in range(512):
+                proc.read(vma.start + ((index * 131) % 512) * PAGE_SIZE)
+            kernel.idle(SECOND)
+        assert khugepaged.active_threshold >= 1
+
+    def test_stable_in_comfort_zone(self):
+        """Low miss rate and plenty of memory: no adjustments."""
+        kernel, khugepaged, policy = make_policy()
+        proc = kernel.create_process("p")
+        vma = proc.mmap(4)
+        proc.write(vma.start, b"x")
+        kernel.idle(SECOND)
+        before = khugepaged.active_threshold
+        for _ in range(5):
+            for _ in range(100):
+                proc.read(vma.start)
+            kernel.idle(SECOND)
+        assert khugepaged.active_threshold == before
+        assert policy.adjustments == []

@@ -1,0 +1,92 @@
+"""Unit tests for VMAs and the per-process address space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError, SegmentationFault
+from repro.mmu.address_space import AddressSpace, MMAP_BASE
+from repro.params import HUGE_PAGE_SIZE, PAGE_SIZE
+
+
+class TestMmap:
+    def test_first_region_at_base(self):
+        space = AddressSpace()
+        vma = space.mmap(4)
+        assert vma.start == MMAP_BASE
+        assert vma.num_pages == 4
+
+    def test_regions_never_overlap(self):
+        space = AddressSpace()
+        regions = [space.mmap(100) for _ in range(10)]
+        for first, second in zip(regions, regions[1:]):
+            assert first.end <= second.start
+
+    def test_regions_2mib_aligned(self):
+        space = AddressSpace()
+        for _ in range(5):
+            vma = space.mmap(7)
+            assert vma.start % HUGE_PAGE_SIZE == 0
+
+    def test_zero_pages_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(MappingError):
+            space.mmap(0)
+
+    def test_vma_metadata(self):
+        space = AddressSpace()
+        vma = space.mmap(2, name="x", mergeable=True, file_key="f",
+                         thp_allowed=False)
+        assert vma.name == "x"
+        assert vma.mergeable
+        assert vma.file_key == "f"
+        assert not vma.thp_allowed
+
+
+class TestLookup:
+    def test_vma_at_inside(self):
+        space = AddressSpace()
+        vma = space.mmap(3)
+        assert space.vma_at(vma.start + PAGE_SIZE) is vma
+
+    def test_vma_at_outside_raises(self):
+        space = AddressSpace()
+        space.mmap(1)
+        with pytest.raises(SegmentationFault):
+            space.vma_at(0x10)
+
+    def test_find_vma_none(self):
+        space = AddressSpace()
+        assert space.find_vma(0x123) is None
+
+    def test_end_is_exclusive(self):
+        space = AddressSpace()
+        vma = space.mmap(1)
+        assert vma.contains(vma.end - 1)
+        assert not vma.contains(vma.end)
+
+
+class TestMergeable:
+    def test_madvise_toggle(self):
+        space = AddressSpace()
+        vma = space.mmap(1)
+        assert space.mergeable_vmas() == []
+        space.madvise_mergeable(vma)
+        assert space.mergeable_vmas() == [vma]
+        space.madvise_mergeable(vma, False)
+        assert space.mergeable_vmas() == []
+
+    def test_iter_pages_covers_all(self):
+        space = AddressSpace()
+        first = space.mmap(2)
+        second = space.mmap(3, mergeable=True)
+        pages = list(space.iter_pages())
+        assert len(pages) == 5
+        assert pages[0] == (first.start, first)
+        assert pages[-1] == (second.end - PAGE_SIZE, second)
+
+    def test_remove_vma(self):
+        space = AddressSpace()
+        vma = space.mmap(1)
+        space.remove_vma(vma)
+        assert space.find_vma(vma.start) is None

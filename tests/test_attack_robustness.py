@@ -1,0 +1,73 @@
+"""Seed robustness and bookkeeping of the attack framework.
+
+The Table 1 verdicts must not depend on a lucky seed: the cheap
+attacks are re-run across several machine seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    ALL_ATTACKS,
+    AttackEnvironment,
+    AttackResult,
+    CowTimingAttack,
+    DedupCovertChannel,
+    FlipFengShuiAttack,
+    PageSharingAttack,
+)
+
+SEEDS = [1017, 2029, 4051]
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cow_timing_vs_ksm(self, seed):
+        assert CowTimingAttack(AttackEnvironment("ksm", seed=seed)).run().success
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cow_timing_vs_vusion(self, seed):
+        assert not CowTimingAttack(
+            AttackEnvironment("vusion", seed=seed)
+        ).run().success
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_page_sharing_vs_ksm(self, seed):
+        assert PageSharingAttack(AttackEnvironment("ksm", seed=seed)).run().success
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_covert_channel_vs_ksm(self, seed):
+        assert DedupCovertChannel(AttackEnvironment("ksm", seed=seed)).run().success
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ffs_vs_vusion_never_succeeds(self, seed):
+        result = FlipFengShuiAttack(
+            AttackEnvironment(
+                "vusion", seed=seed, thp_fault=True, frames=32768,
+                row_vulnerability=0.3,
+            )
+        ).run()
+        assert not result.success
+
+
+class TestFrameworkBookkeeping:
+    def test_every_attack_declares_mitigation(self):
+        for attack_cls in ALL_ATTACKS:
+            assert attack_cls.mitigated_by in ("SB", "RA")
+            assert attack_cls.name != "attack"
+
+    def test_attack_names_unique(self):
+        names = [attack_cls.name for attack_cls in ALL_ATTACKS]
+        assert len(names) == len(set(names))
+
+    def test_result_str(self):
+        result = AttackResult("x", "ksm", True, "SB")
+        assert "SUCCEEDED" in str(result)
+        result = AttackResult("x", "vusion", False, "SB")
+        assert "defeated" in str(result)
+
+    def test_environment_seeds_differ(self):
+        a = AttackEnvironment("none", seed=1)
+        b = AttackEnvironment("none", seed=2)
+        assert a.rng.random() != b.rng.random()

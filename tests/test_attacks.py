@@ -1,0 +1,141 @@
+"""Security tests: the Table 1 attack matrix.
+
+Every attack must succeed against the insecure engine it was published
+against and fail against VUsion — this is the paper's core security
+claim, evaluated end-to-end through architectural behaviour only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    AttackEnvironment,
+    CowTimingAttack,
+    FlipFengShuiAttack,
+    PageColorAttack,
+    PageSharingAttack,
+    ReuseFlipFengShuiAttack,
+    TranslationAttack,
+)
+
+
+def env_for(engine, **kwargs):
+    return AttackEnvironment(engine, **kwargs)
+
+
+class TestCowTiming:
+    def test_succeeds_against_ksm(self):
+        result = CowTimingAttack(env_for("ksm")).run()
+        assert result.success
+        assert result.evidence["slow_correct"] > result.evidence["slow_wrong"]
+
+    def test_defeated_by_vusion(self):
+        result = CowTimingAttack(env_for("vusion")).run()
+        assert not result.success
+        # SB: correct and wrong guesses are *equally* slow.
+        assert result.evidence["slow_correct"] == result.evidence["slow_wrong"]
+
+    def test_nothing_to_detect_without_fusion(self):
+        result = CowTimingAttack(env_for("none")).run()
+        assert not result.success
+        assert result.evidence["slow_correct"] == 0
+
+
+class TestPageSharing:
+    def test_succeeds_against_ksm(self):
+        assert PageSharingAttack(env_for("ksm")).run().success
+
+    def test_succeeds_against_wpf(self):
+        assert PageSharingAttack(env_for("wpf")).run().success
+
+    def test_defeated_by_vusion(self):
+        result = PageSharingAttack(env_for("vusion")).run()
+        assert not result.success
+        # CD-bit pages can never produce a shared cache hit.
+        assert result.evidence["hits_correct"] == 0
+
+
+class TestPageColor:
+    def test_succeeds_against_wpf(self):
+        result = PageColorAttack(env_for("wpf")).run()
+        assert result.success
+        assert result.evidence["moved_correct"]
+        assert not result.evidence["moved_wrong"]
+
+    def test_defeated_by_vusion(self):
+        result = PageColorAttack(env_for("vusion")).run()
+        assert not result.success
+        # Both candidates moved: the color change carries no merge info.
+        assert result.evidence["moved_correct"]
+        assert result.evidence["moved_wrong"]
+
+
+class TestTranslation:
+    def test_succeeds_against_ksm(self):
+        result = TranslationAttack(env_for("ksm", thp_fault=True, frames=32768)).run()
+        assert result.success
+        assert (
+            result.evidence["t_true"] - result.evidence["t_false"]
+            >= result.evidence["walk_step"] // 2
+        )
+
+    def test_defeated_by_vusion(self):
+        result = TranslationAttack(
+            env_for("vusion", thp_fault=True, frames=32768)
+        ).run()
+        assert not result.success
+        # Both THPs were split (idleness), so timings are equal.
+        assert result.evidence["t_true"] == result.evidence["t_false"]
+
+    def test_requires_thp(self):
+        result = TranslationAttack(env_for("ksm")).run()
+        assert not result.success
+        assert "error" in result.evidence
+
+
+class TestFlipFengShui:
+    def test_succeeds_against_ksm(self):
+        result = FlipFengShuiAttack(
+            env_for("ksm", thp_fault=True, frames=32768, row_vulnerability=0.3)
+        ).run()
+        assert result.success
+        assert result.evidence["merged"]
+        assert result.evidence["corrupted"]
+
+    def test_defeated_by_vusion(self):
+        result = FlipFengShuiAttack(
+            env_for("vusion", thp_fault=True, frames=32768, row_vulnerability=0.3)
+        ).run()
+        assert not result.success
+
+    def test_no_merge_no_corruption(self):
+        result = FlipFengShuiAttack(
+            env_for("none", thp_fault=True, frames=32768, row_vulnerability=0.3)
+        ).run()
+        assert not result.success
+
+
+class TestReuseFlipFengShui:
+    def test_succeeds_against_wpf(self):
+        result = ReuseFlipFengShuiAttack(
+            env_for("wpf", row_vulnerability=0.3)
+        ).run()
+        assert result.success
+        assert result.evidence["corrupted"]
+
+    def test_defeated_by_vusion(self):
+        result = ReuseFlipFengShuiAttack(
+            env_for("vusion", row_vulnerability=0.3)
+        ).run()
+        assert not result.success
+
+
+class TestEnvironment:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            AttackEnvironment("bogus")
+
+    def test_attacker_registered_before_victim(self):
+        env = env_for("none")
+        assert env.attacker.pid < env.victim.pid

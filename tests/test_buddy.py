@@ -1,0 +1,190 @@
+"""Unit and property tests for the buddy allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidFrameError, OutOfMemoryError
+from repro.mem.buddy import BuddyAllocator, MAX_ORDER
+
+
+class TestBasicAllocation:
+    def test_alloc_free_roundtrip(self):
+        buddy = BuddyAllocator(0, 1024)
+        pfn = buddy.alloc()
+        assert 0 <= pfn < 1024
+        assert not buddy.is_free(pfn)
+        buddy.free(pfn)
+        assert buddy.is_free(pfn)
+
+    def test_total_free_frames(self):
+        buddy = BuddyAllocator(16, 1000)
+        assert buddy.free_frames() == 1000
+
+    def test_lifo_reuse(self):
+        """The most recently freed frame is handed back first — the
+        predictable-reuse property Flip Feng Shui relies on."""
+        buddy = BuddyAllocator(0, 1024)
+        pfn = buddy.alloc()
+        other = buddy.alloc()
+        buddy.free(pfn)
+        assert buddy.alloc() == pfn
+        buddy.free(other)
+
+    def test_order_allocation_aligned(self):
+        buddy = BuddyAllocator(0, 1024)
+        for order in range(MAX_ORDER + 1):
+            pfn = buddy.alloc(order)
+            assert pfn % (1 << order) == 0
+            buddy.free(pfn, order)
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(0, 4)
+        frames = [buddy.alloc() for _ in range(4)]
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc()
+        for pfn in frames:
+            buddy.free(pfn)
+
+    def test_huge_block_exhaustion(self):
+        buddy = BuddyAllocator(0, 512)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(10)  # only 512 frames available
+
+    def test_unaligned_region(self):
+        buddy = BuddyAllocator(5, 100)
+        seen = set()
+        for _ in range(100):
+            pfn = buddy.alloc()
+            assert 5 <= pfn < 105
+            assert pfn not in seen
+            seen.add(pfn)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc()
+
+
+class TestCoalescing:
+    def test_split_and_coalesce(self):
+        buddy = BuddyAllocator(0, 1024)
+        frames = [buddy.alloc() for _ in range(1024)]
+        assert buddy.free_frames() == 0
+        for pfn in frames:
+            buddy.free(pfn)
+        assert buddy.free_frames() == 1024
+        # Everything must have coalesced back into order-10 blocks.
+        snapshot = buddy.free_list_snapshot()
+        assert len(snapshot[MAX_ORDER]) == 1
+        assert all(not snapshot[order] for order in range(MAX_ORDER))
+
+    def test_huge_block_freed_as_singles_coalesces(self):
+        """An order-9 allocation may be freed frame-by-frame (THP split)."""
+        buddy = BuddyAllocator(0, 1024)
+        head = buddy.alloc(9)
+        for pfn in range(head, head + 512):
+            buddy.free(pfn)
+        assert buddy.free_frames() == 1024
+        assert buddy.alloc(9) is not None
+
+    def test_no_coalesce_outside_region(self):
+        buddy = BuddyAllocator(1, 3)  # frames 1,2,3
+        a = buddy.alloc()
+        b = buddy.alloc()
+        c = buddy.alloc()
+        for pfn in (a, b, c):
+            buddy.free(pfn)
+        assert buddy.free_frames() == 3
+
+
+class TestErrors:
+    def test_double_free_detected(self):
+        buddy = BuddyAllocator(0, 64)
+        pfn = buddy.alloc()
+        buddy.free(pfn)
+        with pytest.raises(InvalidFrameError):
+            buddy.free(pfn)
+
+    def test_free_never_allocated(self):
+        buddy = BuddyAllocator(0, 64)
+        with pytest.raises(InvalidFrameError):
+            buddy.free(3)
+
+    def test_free_outside_region(self):
+        buddy = BuddyAllocator(0, 64)
+        with pytest.raises(InvalidFrameError):
+            buddy.free(64)
+
+    def test_misaligned_order_free(self):
+        buddy = BuddyAllocator(0, 64)
+        with pytest.raises(InvalidFrameError):
+            buddy.free(1, 1)
+
+    def test_partial_overlap_free_detected(self):
+        buddy = BuddyAllocator(0, 64)
+        pfn = buddy.alloc(1)  # frames pfn, pfn+1
+        buddy.free(pfn)  # free only the first as order-0
+        with pytest.raises(InvalidFrameError):
+            buddy.free(pfn, 1)  # order-1 free overlapping the free half
+        buddy.free(pfn + 1)
+
+
+class TestAllocSpecific:
+    def test_claims_exact_frame(self):
+        buddy = BuddyAllocator(0, 1024)
+        assert buddy.alloc_specific(777) == 777
+        assert not buddy.is_free(777)
+        assert buddy.free_frames() == 1023
+
+    def test_rejects_taken_frame(self):
+        buddy = BuddyAllocator(0, 64)
+        pfn = buddy.alloc()
+        with pytest.raises(InvalidFrameError):
+            buddy.alloc_specific(pfn)
+
+    def test_descending_iteration_order(self):
+        buddy = BuddyAllocator(0, 256)
+        top = list(buddy.iter_free_frames_desc())[:5]
+        assert top == [255, 254, 253, 252, 251]
+
+    def test_linear_claims_from_top(self):
+        buddy = BuddyAllocator(0, 256)
+        claimed = []
+        for pfn in list(buddy.iter_free_frames_desc())[:10]:
+            claimed.append(buddy.alloc_specific(pfn))
+        assert claimed == list(range(255, 245, -1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 3)),
+        max_size=120,
+    )
+)
+def test_buddy_property_random_ops(ops):
+    """Random alloc/free sequences keep block accounting consistent."""
+    buddy = BuddyAllocator(0, 512)
+    live: list[tuple[int, int]] = []
+    total = 512
+    for action, order in ops:
+        if action == "alloc":
+            try:
+                pfn = buddy.alloc(order)
+            except OutOfMemoryError:
+                continue
+            live.append((pfn, order))
+        elif live:
+            index = order % len(live)
+            pfn, block_order = live.pop(index)
+            buddy.free(pfn, block_order)
+        allocated = sum(1 << o for _, o in live)
+        assert buddy.free_frames() == total - allocated
+    # No two live blocks overlap.
+    covered: set[int] = set()
+    for pfn, order in live:
+        block = set(range(pfn, pfn + (1 << order)))
+        assert not block & covered
+        covered |= block
+    for pfn, order in live:
+        buddy.free(pfn, order)
+    assert buddy.free_frames() == total

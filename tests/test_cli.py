@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ATTACK_ENV_DEFAULTS, ATTACKS_BY_NAME, build_parser, main
+from repro.harness.experiments import EXPERIMENT_REGISTRY
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.name == "fig3"
+        assert not args.full
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack", "cow-timing"])
+        assert args.target == "ksm"
+
+    def test_every_attack_has_env_defaults_or_empty(self):
+        for name in ATTACKS_BY_NAME:
+            assert isinstance(ATTACK_ENV_DEFAULTS.get(name, {}), dict)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_REGISTRY:
+            assert name in out
+        assert "cow-timing" in out
+        assert "vusion" in out
+
+    def test_attack_success_output(self, capsys):
+        assert main(["attack", "cow-timing", "--target", "ksm"]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCEEDED" in out
+
+    def test_attack_defeated_output(self, capsys):
+        assert main(["attack", "cow-timing", "--target", "vusion"]) == 0
+        out = capsys.readouterr().out
+        assert "defeated" in out
+
+    def test_experiment_runs_and_checks(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse" in out
+        assert "PASS" in out
+
+    def test_experiment_seed_flag(self, capsys):
+        assert main(["experiment", "ra", "--seed", "7"]) == 0
+        assert "KS p-value" in capsys.readouterr().out

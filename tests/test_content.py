@@ -1,0 +1,118 @@
+"""Unit and property tests for canonical page contents."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.content import (
+    ZERO_PAGE,
+    content_digest,
+    flip_bit,
+    is_zero,
+    make_content,
+    random_content,
+    tagged_content,
+)
+from repro.params import PAGE_SIZE
+
+
+class TestMakeContent:
+    def test_strips_trailing_zeros(self):
+        assert make_content(b"abc\x00\x00") == b"abc"
+
+    def test_zero_page_is_empty(self):
+        assert make_content(b"\x00" * 64) == ZERO_PAGE
+
+    def test_preserves_interior_zeros(self):
+        assert make_content(b"a\x00b") == b"a\x00b"
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            make_content(b"x" * (PAGE_SIZE + 1))
+
+    def test_full_page_accepted(self):
+        assert make_content(b"\x01" * PAGE_SIZE) == b"\x01" * PAGE_SIZE
+
+    def test_is_zero(self):
+        assert is_zero(ZERO_PAGE)
+        assert not is_zero(b"x")
+
+
+class TestFlipBit:
+    def test_flip_within_payload(self):
+        flipped = flip_bit(b"\x00\xff", 1, 0)
+        assert flipped == b"\x00\xfe"
+
+    def test_flip_in_zero_tail_extends(self):
+        flipped = flip_bit(b"a", 10, 3)
+        assert flipped == b"a" + b"\x00" * 9 + b"\x08"
+
+    def test_flip_twice_restores(self):
+        original = b"hello"
+        assert flip_bit(flip_bit(original, 2, 5), 2, 5) == original
+
+    def test_flip_last_byte_of_page(self):
+        flipped = flip_bit(ZERO_PAGE, PAGE_SIZE - 1, 7)
+        assert len(flipped) == PAGE_SIZE
+        assert flipped[-1] == 0x80
+
+    def test_rejects_out_of_page(self):
+        with pytest.raises(ValueError):
+            flip_bit(b"a", PAGE_SIZE, 0)
+        with pytest.raises(ValueError):
+            flip_bit(b"a", 0, 8)
+
+    def test_flip_changes_equality(self):
+        a = tagged_content("x", 1)
+        assert flip_bit(a, 0, 0) != a
+
+
+class TestDigestAndTags:
+    def test_digest_deterministic(self):
+        assert content_digest(b"abc") == content_digest(b"abc")
+
+    def test_digest_differs(self):
+        assert content_digest(b"abc") != content_digest(b"abd")
+
+    def test_tagged_content_reproducible(self):
+        assert tagged_content("lib", 3) == tagged_content("lib", 3)
+
+    def test_tagged_content_distinct(self):
+        assert tagged_content("lib", 3) != tagged_content("lib", 4)
+
+    def test_random_content_nonzero(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            assert not is_zero(random_content(rng))
+
+    def test_random_content_rejects_bad_length(self):
+        rng = random.Random(7)
+        with pytest.raises(ValueError):
+            random_content(rng, 0)
+
+
+@given(st.binary(max_size=256))
+def test_canonicalisation_idempotent(data):
+    once = make_content(data)
+    assert make_content(once) == once
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+def test_equal_after_padding(a, b):
+    """Contents equal iff their zero-padded 4 KiB pages are equal."""
+    page_a = a.ljust(PAGE_SIZE, b"\x00")
+    page_b = b.ljust(PAGE_SIZE, b"\x00")
+    assert (make_content(a) == make_content(b)) == (page_a == page_b)
+
+
+@given(
+    st.binary(max_size=64),
+    st.integers(min_value=0, max_value=PAGE_SIZE - 1),
+    st.integers(min_value=0, max_value=7),
+)
+def test_flip_bit_involution(data, offset, bit):
+    content = make_content(data)
+    assert flip_bit(flip_bit(content, offset, bit), offset, bit) == content

@@ -1,0 +1,45 @@
+"""Tests for the deduplication covert channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackEnvironment
+from repro.attacks.covert_channel import DedupCovertChannel
+
+
+class TestTransmission:
+    def test_perfect_over_ksm(self):
+        result = DedupCovertChannel(AttackEnvironment("ksm")).run()
+        assert result.success
+        assert result.evidence["correct_bits"] == result.evidence["total_bits"]
+
+    def test_perfect_over_wpf(self):
+        result = DedupCovertChannel(AttackEnvironment("wpf")).run()
+        assert result.success
+
+    def test_noise_under_vusion(self):
+        result = DedupCovertChannel(AttackEnvironment("vusion"),
+                                    message_bits=24).run()
+        assert not result.success
+        # Under SB every probe looks merged-or-not identically; the
+        # decoder can do no better than chance.
+        correct = result.evidence["correct_bits"]
+        total = result.evidence["total_bits"]
+        assert correct < total
+
+    def test_different_messages_per_seed(self):
+        a = DedupCovertChannel(AttackEnvironment("ksm"), seed=1).run()
+        b = DedupCovertChannel(AttackEnvironment("ksm"), seed=2).run()
+        assert a.evidence["message"] != b.evidence["message"]
+        assert a.success and b.success
+
+    def test_bandwidth_reported(self):
+        result = DedupCovertChannel(AttackEnvironment("ksm")).run()
+        assert result.evidence["decode_bits_per_s"] > 0
+
+    @pytest.mark.parametrize("bits", [1, 8, 32])
+    def test_message_sizes(self, bits):
+        result = DedupCovertChannel(AttackEnvironment("ksm"),
+                                    message_bits=bits).run()
+        assert result.success

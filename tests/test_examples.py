@@ -1,0 +1,53 @@
+"""Smoke tests running every example script in-process.
+
+The examples are part of the public surface; they must run clean and
+print the claims they advertise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "frames saved: 8" in out
+        assert "copy-on-access" in out
+        assert "bob still sees the original shared content" in out
+
+    def test_dedup_side_channel(self, capsys):
+        out = run_example("dedup_side_channel.py", capsys)
+        assert "SECRET LEAKED" in out
+        assert "attack defeated" in out
+
+    def test_flip_feng_shui_demo(self, capsys):
+        out = run_example("flip_feng_shui_demo.py", capsys)
+        assert out.count("ATTACK SUCCEEDED") == 2  # vs KSM and vs WPF
+        assert out.count("attack defeated") == 2  # both vs VUsion
+
+    def test_covert_channel(self, capsys):
+        out = run_example("covert_channel.py", capsys)
+        assert "CHANNEL WORKS" in out
+        assert "channel destroyed" in out
+
+    def test_thp_tradeoff(self, capsys):
+        out = run_example("thp_tradeoff.py", capsys)
+        assert "n=1" in out
+        assert "adaptive" in out
+
+    @pytest.mark.slow
+    def test_cloud_consolidation(self, capsys):
+        out = run_example("cloud_consolidation.py", capsys)
+        assert "No Dedup" in out
+        assert "VUsion THP" in out

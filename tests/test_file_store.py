@@ -1,0 +1,107 @@
+"""Tests for the guest file store and daemon/clock plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernel.clock import Clock
+from repro.kernel.daemons import Daemon, DaemonScheduler
+from repro.kernel.page_cache import GuestFileStore
+
+
+class TestGuestFileStore:
+    def test_register_and_read(self):
+        store = GuestFileStore()
+        store.register_file("etc/passwd", 4)
+        assert store.has_file("etc/passwd")
+        assert store.file_pages("etc/passwd") == 4
+        content = store.page_content("etc/passwd", 0)
+        assert content and content == store.page_content("etc/passwd", 0)
+
+    def test_cross_store_determinism(self):
+        """Two VMs registering the same file cache identical bytes."""
+        a, b = GuestFileStore(), GuestFileStore()
+        a.register_file("lib/libc", 8)
+        b.register_file("lib/libc", 8)
+        for index in range(8):
+            assert a.page_content("lib/libc", index) == b.page_content("lib/libc", index)
+
+    def test_generation_changes_content(self):
+        store = GuestFileStore()
+        store.register_file("mail", 2)
+        before = store.page_content("mail", 1)
+        assert store.rewrite_file("mail") == 1
+        assert store.page_content("mail", 1) != before
+
+    def test_remove(self):
+        store = GuestFileStore()
+        store.register_file("tmp", 1)
+        store.remove_file("tmp")
+        assert not store.has_file("tmp")
+
+    def test_bad_page_index(self):
+        store = GuestFileStore()
+        store.register_file("f", 2)
+        with pytest.raises(ConfigError):
+            store.page_content("f", 2)
+
+    def test_zero_pages_rejected(self):
+        store = GuestFileStore()
+        with pytest.raises(ConfigError):
+            store.register_file("empty", 0)
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_negative_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_never_backwards(self):
+        clock = Clock(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+        clock.advance_to(200)
+        assert clock.now == 200
+
+
+class TestDaemonScheduler:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            Daemon("bad", 0, lambda: None)
+
+    def test_run_due_respects_deadline(self):
+        scheduler = DaemonScheduler()
+        runs = []
+        scheduler.register(Daemon("d", 100, lambda: runs.append(1)), now=0)
+        assert not scheduler.run_due(50)
+        assert scheduler.run_due(100)
+        assert runs == [1]
+
+    def test_no_drift(self):
+        """Deadlines step by the period from the scheduled time."""
+        scheduler = DaemonScheduler()
+        daemon = scheduler.register(Daemon("d", 100, lambda: None), now=0)
+        scheduler.run_due(130)  # ran late
+        assert daemon.next_due == 230  # 130 + 100 (no earlier than now)
+
+    def test_disabled_daemon_skipped(self):
+        scheduler = DaemonScheduler()
+        runs = []
+        daemon = scheduler.register(Daemon("d", 10, lambda: runs.append(1)), now=0)
+        daemon.enabled = False
+        scheduler.run_due(1000)
+        assert not runs
+        assert scheduler.next_deadline() is None
+
+    def test_unregister(self):
+        scheduler = DaemonScheduler()
+        daemon = scheduler.register(Daemon("d", 10, lambda: None), now=0)
+        scheduler.unregister(daemon)
+        assert scheduler.daemons == ()

@@ -1,0 +1,114 @@
+"""Tests for system configurations and the scenario driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vusion import Vusion
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.harness.scenario import (
+    KSM_CONFIG,
+    NO_DEDUP,
+    STANDARD_CONFIGS,
+    Scenario,
+    SystemConfig,
+    VUSION_CONFIG,
+    VUSION_THP_CONFIG,
+    build_engine,
+)
+from repro.params import SECOND
+from repro.workloads.vm_image import DISTRO_IMAGES
+
+
+class TestSystemConfig:
+    def test_standard_configs_complete(self):
+        labels = [config.label for config in STANDARD_CONFIGS]
+        assert labels == ["No Dedup", "KSM", "VUsion", "VUsion THP"]
+
+    def test_with_overrides(self):
+        config = KSM_CONFIG.with_(pages_per_scan=7)
+        assert config.pages_per_scan == 7
+        assert config.label == "KSM"
+        assert KSM_CONFIG.pages_per_scan != 7  # original untouched
+
+    def test_thp_config_conserves(self):
+        assert VUSION_THP_CONFIG.conserve_thp
+        assert not VUSION_CONFIG.conserve_thp
+
+    def test_build_engine_types(self):
+        assert build_engine(NO_DEDUP) is None
+        assert isinstance(build_engine(KSM_CONFIG), Ksm)
+        assert isinstance(build_engine(VUSION_CONFIG), Vusion)
+        assert isinstance(
+            build_engine(KSM_CONFIG.with_(engine="coa-ksm")), CopyOnAccessKsm
+        )
+        assert isinstance(
+            build_engine(KSM_CONFIG.with_(engine="wpf")), WindowsPageFusion
+        )
+        assert isinstance(
+            build_engine(KSM_CONFIG.with_(engine="zeropage")), ZeroPageFusion
+        )
+
+    def test_build_engine_unknown(self):
+        with pytest.raises(ValueError):
+            build_engine(KSM_CONFIG.with_(engine="bogus"))
+
+    def test_vusion_engine_inherits_knobs(self):
+        config = VUSION_THP_CONFIG.with_(pool_frames=77, min_idle_ns=123,
+                                         working_set=False)
+        engine = build_engine(config)
+        assert engine.config.random_pool_frames == 77
+        assert engine.config.min_idle_ns == 123
+        assert engine.config.thp_enabled
+        assert not engine.config.working_set_enabled
+
+
+class TestScenario:
+    def test_boot_and_sample(self):
+        scenario = Scenario(KSM_CONFIG, frames=16384)
+        vm = scenario.boot(DISTRO_IMAGES["debian"])
+        assert vm.total_pages == DISTRO_IMAGES["debian"].total_pages
+        sample = scenario.sample()
+        assert sample.frames_in_use > vm.total_pages // 2
+
+    def test_run_sampling_interval(self):
+        scenario = Scenario(NO_DEDUP, frames=16384)
+        scenario.boot(DISTRO_IMAGES["debian"])
+        samples = scenario.run_sampling(5 * SECOND, SECOND)
+        assert len(samples) == 5
+        times = [sample.t_ns for sample in samples]
+        assert times == sorted(times)
+
+    def test_khugepaged_wiring(self):
+        secure = Scenario(VUSION_THP_CONFIG, frames=16384)
+        assert secure.khugepaged is not None and secure.khugepaged.secure
+        insecure = Scenario(KSM_CONFIG, frames=16384)
+        assert insecure.khugepaged is not None and not insecure.khugepaged.secure
+        plain = Scenario(VUSION_CONFIG, frames=16384)
+        assert plain.khugepaged is None
+
+    def test_saved_frames_no_engine(self):
+        scenario = Scenario(NO_DEDUP, frames=16384)
+        assert scenario.saved_frames() == 0
+
+    def test_series_extraction(self):
+        scenario = Scenario(NO_DEDUP, frames=16384)
+        scenario.boot(DISTRO_IMAGES["debian"])
+        scenario.run_sampling(2 * SECOND, SECOND)
+        series = scenario.series("frames_in_use")
+        assert len(series) == 2
+        assert all(isinstance(t, float) and value > 0 for t, value in series)
+
+    def test_fusion_converges_same_image(self):
+        scenario = Scenario(KSM_CONFIG, frames=32768)
+        for _ in range(2):
+            scenario.boot(DISTRO_IMAGES["ubuntu"])
+        scenario.idle(8 * SECOND)
+        image = DISTRO_IMAGES["ubuntu"]
+        # At least the kernel+page-cache duplicates should merge.
+        assert scenario.saved_frames() > (
+            image.kernel_pages + image.page_cache_pages
+        ) // 2

@@ -1,0 +1,158 @@
+"""System-wide invariants under randomized workloads (hypothesis).
+
+A reference model tracks what every process wrote to every page; after
+arbitrary interleavings of writes, reads, scan activity and unmapping,
+under every fusion engine:
+
+* reads always return what the owner last wrote (fusion is invisible),
+* each frame's refcount equals its rmap entries plus engine pins,
+* no frame is simultaneously free and mapped,
+* fused frames are genuinely shared (identical content across mappers).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.vusion import Vusion
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.kernel.kernel import Kernel, ZERO_FRAME
+from repro.mem.content import tagged_content
+from repro.params import (
+    FusionConfig,
+    MINUTE,
+    MS,
+    PAGE_SIZE,
+    VusionConfig,
+    WpfConfig,
+)
+
+from tests.conftest import small_spec
+
+ENGINES = {
+    "ksm": lambda: Ksm(FusionConfig(pages_per_scan=64, scan_interval=20 * MS)),
+    "coa-ksm": lambda: CopyOnAccessKsm(
+        FusionConfig(pages_per_scan=64, scan_interval=20 * MS)
+    ),
+    "wpf": lambda: WindowsPageFusion(WpfConfig(pass_interval=MINUTE)),
+    "zeropage": lambda: ZeroPageFusion(
+        FusionConfig(pages_per_scan=64, scan_interval=20 * MS)
+    ),
+    "vusion": lambda: Vusion(
+        VusionConfig(random_pool_frames=128, min_idle_ns=100 * MS),
+        FusionConfig(pages_per_scan=64, scan_interval=20 * MS),
+    ),
+    "none": lambda: None,
+}
+
+PAGES_PER_PROC = 6
+NUM_PROCS = 3
+
+operation = st.tuples(
+    st.sampled_from(["write", "write_dup", "write_zero", "read", "idle"]),
+    st.integers(0, NUM_PROCS - 1),
+    st.integers(0, PAGES_PER_PROC - 1),
+    st.integers(0, 7),
+)
+
+
+def check_global_invariants(kernel, engine) -> None:
+    physmem = kernel.physmem
+    pins = set()
+    if engine is not None and hasattr(engine, "_nodes_by_pfn"):
+        pins = set(engine._nodes_by_pfn)
+    if isinstance(engine, ZeroPageFusion):
+        pins = {engine._zero_frame}
+    for pfn in physmem.mapped_frames():
+        expected = len(physmem.rmap(pfn))
+        if pfn == ZERO_FRAME:
+            expected += 1  # boot pin
+        if pfn in pins:
+            expected += 1  # stable-tree pin
+        assert physmem.refcount(pfn) == expected, f"refcount skew on pfn {pfn}"
+        assert not kernel.buddy.is_free(pfn), f"pfn {pfn} free while mapped"
+    # Fused frames hold one content for all mappers by construction;
+    # verify every mapper actually translates to that frame.
+    for pfn in list(pins):
+        for pid, vaddr in physmem.rmap(pfn):
+            process = kernel.find_process(pid)
+            walk = process.address_space.page_table.walk(vaddr)
+            assert walk is not None and walk.frame_for(vaddr) == pfn
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=st.lists(operation, min_size=1, max_size=60))
+def test_contents_and_refcounts_under_random_ops(engine_name, ops):
+    kernel = Kernel(small_spec(frames=2048))
+    engine = ENGINES[engine_name]()
+    if engine is not None:
+        kernel.attach_fusion(engine)
+    processes = [kernel.create_process(f"p{i}") for i in range(NUM_PROCS)]
+    vmas = [p.mmap(PAGES_PER_PROC, mergeable=True) for p in processes]
+    model: dict[tuple[int, int], bytes] = {}
+
+    for action, proc_index, page_index, salt in ops:
+        process = processes[proc_index]
+        vaddr = vmas[proc_index].start + page_index * PAGE_SIZE
+        if action == "write":
+            content = tagged_content("inv", proc_index, page_index, salt)
+            process.write(vaddr, content)
+            model[(proc_index, page_index)] = content
+        elif action == "write_dup":
+            # Deliberately duplicated across processes (merge bait).
+            content = tagged_content("inv-dup", salt)
+            process.write(vaddr, content)
+            model[(proc_index, page_index)] = content
+        elif action == "write_zero":
+            process.write(vaddr, b"")
+            model[(proc_index, page_index)] = b""
+        elif action == "read":
+            expected = model.get((proc_index, page_index), b"")
+            assert process.read(vaddr).content == expected
+        else:  # idle: let scanning/fusion run
+            kernel.idle(50 * MS * (salt + 1))
+
+    kernel.idle(500 * MS)
+    # Final full consistency sweep: fusion must be invisible to owners.
+    for (proc_index, page_index), expected in model.items():
+        vaddr = vmas[proc_index].start + page_index * PAGE_SIZE
+        assert processes[proc_index].read(vaddr).content == expected
+    check_global_invariants(kernel, engine)
+
+
+@pytest.mark.parametrize("engine_name", ["ksm", "vusion", "wpf"])
+def test_munmap_after_fusion_leaves_no_leaks(engine_name):
+    """Tearing everything down returns the machine to a clean state."""
+    kernel = Kernel(small_spec(frames=4096))
+    engine = ENGINES[engine_name]()
+    kernel.attach_fusion(engine)
+    processes = [kernel.create_process(f"p{i}") for i in range(3)]
+    vmas = []
+    for process in processes:
+        vma = process.mmap(16, mergeable=True)
+        vmas.append(vma)
+        for index in range(16):
+            process.write(vma.start + index * PAGE_SIZE, tagged_content("leak", index))
+    kernel.idle(2 * MINUTE)
+    saved = engine.saved_frames()
+    assert saved > 0, "fusion should have happened"
+    for process, vma in zip(processes, vmas):
+        process.munmap(vma)
+    kernel.idle(MINUTE)  # drain deferred frees
+    if isinstance(engine, Vusion):
+        engine.deferred.drain()
+    # All stable nodes must be gone and their frames recoverable.
+    shared, sharing = engine.sharing_pairs()
+    assert (shared, sharing) == (0, 0)
+    # Only the reserved kernel frames (and VUsion's pool, typed FREE)
+    # remain in use.
+    assert kernel.frames_in_use() == 16

@@ -1,0 +1,155 @@
+"""Tests for khugepaged: insecure default vs. VUsion-secured policy."""
+
+from __future__ import annotations
+
+from repro.core.vusion import Vusion
+from repro.fusion.ksm import Ksm
+from repro.kernel.kernel import Kernel
+from repro.kernel.khugepaged import Khugepaged
+from repro.params import (
+    FusionConfig,
+    MS,
+    PAGE_SIZE,
+    PAGES_PER_HUGE_PAGE,
+    SECOND,
+    VusionConfig,
+)
+
+from tests.conftest import dup, small_spec
+
+
+def populate_range(process, vma, count=PAGES_PER_HUGE_PAGE, tag="kh"):
+    for index in range(count):
+        process.write_page(vma, index, dup(tag, index))
+
+
+class TestInsecureCollapse:
+    def test_collapses_full_range(self):
+        kernel = Kernel(small_spec(frames=16384))
+        khugepaged = Khugepaged(kernel, period=SECOND)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE)
+        populate_range(proc, vma)
+        assert not proc.address_space.page_table.walk(vma.start).huge
+        kernel.idle(2 * SECOND)
+        walk = proc.address_space.page_table.walk(vma.start)
+        assert walk.huge
+        assert khugepaged.collapses == 1
+
+    def test_contents_preserved_across_collapse(self):
+        kernel = Kernel(small_spec(frames=16384))
+        Khugepaged(kernel, period=SECOND)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE)
+        populate_range(proc, vma, tag="content")
+        kernel.idle(2 * SECOND)
+        for index in range(0, PAGES_PER_HUGE_PAGE, 61):
+            assert proc.read_page(vma, index) == dup("content", index)
+
+    def test_underpopulated_range_not_collapsed(self):
+        kernel = Kernel(small_spec(frames=16384))
+        khugepaged = Khugepaged(kernel, period=SECOND)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE)
+        populate_range(proc, vma, count=64)  # way below min_present
+        kernel.idle(2 * SECOND)
+        assert khugepaged.collapses == 0
+
+    def test_holes_zero_filled(self):
+        kernel = Kernel(small_spec(frames=16384))
+        Khugepaged(kernel, period=SECOND, min_present=400)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE)
+        populate_range(proc, vma, count=480)
+        kernel.idle(2 * SECOND)
+        assert proc.address_space.page_table.walk(vma.start).huge
+        assert proc.read_page(vma, 500) == b""
+
+    def test_skips_ranges_with_fused_pages(self):
+        """Linux khugepaged refuses to collapse over KSM pages."""
+        kernel = Kernel(small_spec(frames=16384))
+        ksm = Ksm(FusionConfig(pages_per_scan=2048, scan_interval=20 * MS))
+        kernel.attach_fusion(ksm)
+        khugepaged = Khugepaged(kernel, period=SECOND)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        vma = a.mmap(PAGES_PER_HUGE_PAGE, mergeable=True)
+        populate_range(a, vma)
+        other = b.mmap(1, mergeable=True, thp_allowed=False)
+        b.write_page(other, 0, dup("kh", 3))  # duplicates page 3
+        kernel.idle(5 * SECOND)
+        assert ksm.stats.merges >= 1
+        assert not a.address_space.page_table.walk(vma.start).huge
+        assert khugepaged.skipped_fused > 0
+
+    def test_file_backed_not_collapsed(self):
+        kernel = Kernel(small_spec(frames=16384))
+        khugepaged = Khugepaged(kernel, period=SECOND)
+        proc = kernel.create_process("p")
+        proc.file_store.register_file("f", PAGES_PER_HUGE_PAGE)
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE, file_key="f")
+        for index in range(PAGES_PER_HUGE_PAGE):
+            proc.read(vma.start + index * PAGE_SIZE)
+        kernel.idle(2 * SECOND)
+        assert khugepaged.collapses == 0
+
+
+class TestSecureCollapse:
+    def make_setup(self, threshold=1):
+        kernel = Kernel(small_spec(frames=32768))
+        # The secure khugepaged is part of the "VUsion THP" system, so
+        # the engine runs in THP-conserving mode here.
+        vu = Vusion(
+            VusionConfig(random_pool_frames=512, thp_enabled=True),
+            FusionConfig(pages_per_scan=1024, scan_interval=20 * MS),
+        )
+        kernel.attach_fusion(vu)
+        khugepaged = Khugepaged(
+            kernel, period=SECOND, secure=True, active_threshold=threshold
+        )
+        return kernel, vu, khugepaged
+
+    def test_idle_range_not_collapsed(self):
+        kernel, vu, khugepaged = self.make_setup()
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE, mergeable=True)
+        populate_range(proc, vma)
+        # Let the pages go idle, then give khugepaged several chances.
+        kernel.idle(5 * SECOND)
+        assert khugepaged.collapses == 0
+        assert khugepaged.skipped_inactive > 0
+
+    def test_active_range_collapsed_after_unmerging(self):
+        kernel, vu, khugepaged = self.make_setup()
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE, mergeable=True)
+        populate_range(proc, vma)
+        # Go idle long enough for VUsion to (fake-)merge everything.
+        kernel.idle(4 * SECOND)
+        fused = sum(
+            1
+            for vaddr in vma.pages()
+            if proc.address_space.page_table.walk(vaddr).pte.fused
+        )
+        assert fused > 400
+        # Now the range becomes hot again (and stays hot while
+        # khugepaged gets several chances to run).
+        for _ in range(80):
+            proc.read_page(vma, 5)
+            kernel.idle(40 * MS)
+        walk = proc.address_space.page_table.walk(vma.start)
+        assert walk.huge, "active range must be re-collapsed securely"
+        # Content intact after unmerge-then-collapse.
+        assert proc.read_page(vma, 5) == dup("kh", 5)
+        assert proc.read_page(vma, 300) == dup("kh", 300)
+
+    def test_high_threshold_needs_more_active_pages(self):
+        kernel, vu, khugepaged = self.make_setup(threshold=64)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(PAGES_PER_HUGE_PAGE, mergeable=True)
+        populate_range(proc, vma)
+        for _ in range(30):
+            proc.read_page(vma, 5)  # only one active page
+            kernel.idle(40 * MS)
+        kernel.idle(SECOND)
+        assert khugepaged.collapses == 0

@@ -1,0 +1,236 @@
+"""Behavioural tests for the KSM engine (and its CoA variant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.kernel.kernel import Kernel
+from repro.params import PAGE_SIZE, PAGES_PER_HUGE_PAGE, SECOND
+
+from tests.conftest import dup, fast_fusion, small_spec
+
+
+def make_ksm_setup(protect_reads: bool = False, frames: int = 4096):
+    kernel = Kernel(small_spec(frames=frames))
+    engine_cls = CopyOnAccessKsm if protect_reads else Ksm
+    if protect_reads:
+        engine = engine_cls(fast_fusion())
+    else:
+        engine = engine_cls(fast_fusion())
+    kernel.attach_fusion(engine)
+    return kernel, engine
+
+
+def two_vms_with_duplicates(kernel, count=8, tag="d"):
+    a = kernel.create_process("vm-a")
+    b = kernel.create_process("vm-b")
+    va = a.mmap(count, mergeable=True)
+    vb = b.mmap(count, mergeable=True)
+    for index in range(count):
+        a.write_page(va, index, dup(tag, index))
+        b.write_page(vb, index, dup(tag, index))
+    return a, b, va, vb
+
+
+class TestMerging:
+    def test_duplicates_merge(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel)
+        kernel.idle(2 * SECOND)
+        assert ksm.saved_frames() == 8
+        shared, sharing = ksm.sharing_pairs()
+        assert (shared, sharing) == (8, 16)
+
+    def test_merged_pages_share_frame(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        kernel.idle(2 * SECOND)
+        pfn_a = a.address_space.page_table.walk(va.start).pfn
+        pfn_b = b.address_space.page_table.walk(vb.start).pfn
+        assert pfn_a == pfn_b
+        assert kernel.physmem.is_fused(pfn_a)
+
+    def test_merge_reuses_a_party_frame(self):
+        """KSM backs the merged page with one of the two parties'
+        frames — the property classic Flip Feng Shui abuses."""
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        before_a = a.address_space.page_table.walk(va.start).pfn
+        before_b = b.address_space.page_table.walk(vb.start).pfn
+        kernel.idle(2 * SECOND)
+        after = a.address_space.page_table.walk(va.start).pfn
+        assert after in (before_a, before_b)
+
+    def test_first_scanned_party_wins(self):
+        """The page that entered the unstable tree first donates its
+        frame (scan order = registration order)."""
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        before_a = a.address_space.page_table.walk(va.start).pfn
+        kernel.idle(2 * SECOND)
+        assert a.address_space.page_table.walk(va.start).pfn == before_a
+
+    def test_unique_pages_not_merged(self):
+        kernel, ksm = make_ksm_setup()
+        a = kernel.create_process("a")
+        vma = a.mmap(8, mergeable=True)
+        for index in range(8):
+            a.write_page(vma, index, dup("unique", index))
+        kernel.idle(2 * SECOND)
+        assert ksm.saved_frames() == 0
+        assert ksm.stats.merges == 0
+
+    def test_non_mergeable_vma_ignored(self):
+        kernel, ksm = make_ksm_setup()
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(4, mergeable=False)
+        vb = b.mmap(4, mergeable=False)
+        for index in range(4):
+            a.write_page(va, index, dup("x", index))
+            b.write_page(vb, index, dup("x", index))
+        kernel.idle(2 * SECOND)
+        assert ksm.stats.pages_scanned == 0
+
+    def test_volatile_pages_skipped(self):
+        """A page rewritten between scans never merges (checksum gate)."""
+        kernel, ksm = make_ksm_setup()
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(1, mergeable=True)
+        vb = b.mmap(1, mergeable=True)
+        b.write_page(vb, 0, dup("v", 99))
+        generation = 0
+        for _ in range(40):
+            a.write_page(va, 0, dup("v", generation))
+            generation += 1
+            kernel.idle(100_000_000)
+        assert ksm.stats.volatile_skips > 0
+        assert ksm.saved_frames() == 0
+
+    def test_three_way_merge(self):
+        kernel, ksm = make_ksm_setup()
+        procs = [kernel.create_process(f"p{i}") for i in range(3)]
+        vmas = [p.mmap(1, mergeable=True) for p in procs]
+        for p, vma in zip(procs, vmas):
+            p.write_page(vma, 0, dup("tri"))
+        kernel.idle(2 * SECOND)
+        shared, sharing = ksm.sharing_pairs()
+        assert (shared, sharing) == (1, 3)
+        assert ksm.saved_frames() == 2
+
+
+class TestUnmerging:
+    def test_write_unmerges_via_cow(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        kernel.idle(2 * SECOND)
+        result = a.write_page(va, 0, b"modified")
+        assert "unmerge_cow" in result.fault_kinds
+        assert a.read_page(va, 0) == b"modified"
+        # The other party still sees the original content.
+        assert b.read_page(vb, 0) == dup("d", 0)
+
+    def test_read_does_not_unmerge(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        kernel.idle(2 * SECOND)
+        result = a.read_page(va, 0)
+        assert ksm.saved_frames() == 1
+        walk_a = a.address_space.page_table.walk(va.start)
+        walk_b = b.address_space.page_table.walk(vb.start)
+        assert walk_a.pfn == walk_b.pfn
+
+    def test_last_unmerge_releases_stable_node(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        kernel.idle(2 * SECOND)
+        node_pfn = a.address_space.page_table.walk(va.start).pfn
+        a.write_page(va, 0, b"a-priv")
+        assert kernel.physmem.is_fused(node_pfn)
+        b.write_page(vb, 0, b"b-priv")
+        assert not kernel.physmem.is_fused(node_pfn)
+        assert ksm.stats.stable_nodes_released == 1
+        assert kernel.buddy.is_free(node_pfn)
+
+    def test_munmap_releases_stable_node(self):
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=1)
+        kernel.idle(2 * SECOND)
+        node_pfn = a.address_space.page_table.walk(va.start).pfn
+        a.munmap(va)
+        b.munmap(vb)
+        assert not kernel.physmem.is_fused(node_pfn)
+        assert kernel.buddy.is_free(node_pfn)
+
+    def test_cow_timing_side_channel_exists(self):
+        """Writes to merged pages are measurably slower — the classic
+        dedup side channel that VUsion closes (Fig. 5)."""
+        kernel, ksm = make_ksm_setup()
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=4)
+        unshared = a.mmap(4, mergeable=True)
+        for index in range(4):
+            a.write_page(unshared, index, dup("solo", index))
+        kernel.idle(2 * SECOND)
+        merged_times = [a.write_page(va, i, dup("d", i)).latency for i in range(4)]
+        plain_times = [
+            a.write_page(unshared, i, dup("solo", i)).latency for i in range(4)
+        ]
+        assert min(merged_times) > 2 * max(plain_times)
+
+
+class TestCopyOnAccessVariant:
+    def test_read_unmerges(self):
+        kernel, ksm = make_ksm_setup(protect_reads=True)
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=2)
+        kernel.idle(2 * SECOND)
+        assert ksm.saved_frames() == 2
+        result = a.read_page(va, 0)
+        assert ksm.stats.coa_unmerges == 1
+        walk_a = a.address_space.page_table.walk(va.start)
+        walk_b = b.address_space.page_table.walk(vb.start)
+        assert walk_a.pfn != walk_b.pfn
+
+    def test_content_preserved_across_coa(self):
+        kernel, ksm = make_ksm_setup(protect_reads=True)
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=2)
+        kernel.idle(2 * SECOND)
+        assert a.read_page(va, 1) == dup("d", 1)
+
+    def test_refuses_stale_unstable_match(self):
+        """A page that changed after entering the unstable tree must
+        not be merged with its stale content."""
+        kernel, ksm = make_ksm_setup()
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(1, mergeable=True)
+        vb = b.mmap(1, mergeable=True)
+        a.write_page(va, 0, dup("stale"))
+        b.write_page(vb, 0, dup("stale"))
+        kernel.idle(2 * SECOND)
+        # Merged correctly; contents equal.
+        assert a.read_page(va, 0) == b.read_page(vb, 0)
+
+
+class TestKsmWithThp:
+    def test_merge_splits_huge_page(self):
+        """KSM breaks a THP to merge a subpage — the structural change
+        the translation attack observes."""
+        kernel = Kernel(small_spec(frames=16384), thp_fault_enabled=True)
+        ksm = Ksm(fast_fusion(pages=256))
+        kernel.attach_fusion(ksm)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(PAGES_PER_HUGE_PAGE, mergeable=True)
+        vb = b.mmap(4, mergeable=True, thp_allowed=False)
+        a.write(va.start, b"thp-head")  # THP backs the whole region
+        a.write(va.start + 9 * PAGE_SIZE, dup("inside-thp"))
+        b.write_page(vb, 0, dup("inside-thp"))
+        assert a.address_space.page_table.walk(va.start).huge
+        kernel.idle(8 * SECOND)
+        walk = a.address_space.page_table.walk(va.start + 9 * PAGE_SIZE)
+        assert not walk.huge, "THP must be split by the merge"
+        assert walk.pte.fused
+        assert kernel.stats.thp_splits >= 1

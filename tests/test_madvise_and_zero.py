@@ -1,0 +1,144 @@
+"""Tests for MADV_UNMERGEABLE semantics and KSM's use_zero_pages."""
+
+from __future__ import annotations
+
+from repro.core.vusion import Vusion
+from repro.fusion.ksm import Ksm
+from repro.fusion.memory_combining import MemoryCombining
+from repro.kernel.kernel import Kernel, ZERO_FRAME
+from repro.params import FusionConfig, MS, SECOND, VusionConfig
+
+from tests.conftest import dup, fast_fusion, small_spec
+
+
+def fused_count(process, vma):
+    page_table = process.address_space.page_table
+    return sum(
+        1
+        for vaddr in vma.pages()
+        if (walk := page_table.walk(vaddr)) is not None and walk.pte.fused
+    )
+
+
+class TestMadviseUnmergeable:
+    def test_ksm_unmerges_region(self):
+        kernel = Kernel(small_spec())
+        ksm = Ksm(fast_fusion())
+        kernel.attach_fusion(ksm)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(8, mergeable=True)
+        vb = b.mmap(8, mergeable=True)
+        for index in range(8):
+            a.write_page(va, index, dup("mu", index))
+            b.write_page(vb, index, dup("mu", index))
+        kernel.idle(2 * SECOND)
+        assert fused_count(a, va) == 8
+        unmerged = a.madvise_mergeable(va, False)
+        assert unmerged == 8
+        assert fused_count(a, va) == 0
+        # The other party keeps its merged view; contents intact.
+        assert fused_count(b, vb) == 8
+        for index in range(8):
+            assert a.read_page(va, index) == dup("mu", index)
+
+    def test_vusion_unmerges_region(self):
+        kernel = Kernel(small_spec())
+        vusion = Vusion(
+            VusionConfig(random_pool_frames=128, min_idle_ns=50 * MS),
+            fast_fusion(),
+        )
+        kernel.attach_fusion(vusion)
+        a = kernel.create_process("a")
+        va = a.mmap(6, mergeable=True)
+        for index in range(6):
+            a.write_page(va, index, dup("mv", index))
+        kernel.idle(2 * SECOND)
+        assert fused_count(a, va) == 6
+        assert a.madvise_mergeable(va, False) == 6
+        assert fused_count(a, va) == 0
+        # Pages are private and freely writable again, fault-free.
+        result = a.write_page(va, 0, b"plain")
+        assert result.fault_kinds == ()
+
+    def test_memory_combining_swaps_back_in(self):
+        kernel = Kernel(small_spec())
+        engine = MemoryCombining(fast_fusion(), swap_after_ns=100 * MS)
+        kernel.attach_fusion(engine)
+        a = kernel.create_process("a")
+        va = a.mmap(4, mergeable=True)
+        for index in range(4):
+            a.write_page(va, index, dup("mc-un", index))
+        kernel.idle(2 * SECOND)
+        assert engine.evicted_pages() == 4
+        restored = a.madvise_mergeable(va, False)
+        assert restored == 4
+        assert engine.evicted_pages() == 0
+        for index in range(4):
+            assert a.read_page(va, index) == dup("mc-un", index)
+
+    def test_optin_returns_zero(self):
+        kernel = Kernel(small_spec())
+        kernel.attach_fusion(Ksm(fast_fusion()))
+        a = kernel.create_process("a")
+        va = a.mmap(2)
+        assert a.madvise_mergeable(va) == 0
+
+    def test_no_engine_noop(self):
+        kernel = Kernel(small_spec())
+        a = kernel.create_process("a")
+        va = a.mmap(2, mergeable=True)
+        assert a.madvise_mergeable(va, False) == 0
+
+
+class TestUseZeroPages:
+    def make_setup(self, use_zero_pages=True):
+        kernel = Kernel(small_spec())
+        ksm = Ksm(fast_fusion(), use_zero_pages=use_zero_pages)
+        kernel.attach_fusion(ksm)
+        return kernel, ksm
+
+    def test_zero_pages_map_to_kernel_zero_frame(self):
+        kernel, ksm = self.make_setup()
+        a = kernel.create_process("a")
+        va = a.mmap(6, mergeable=True)
+        for index in range(6):
+            a.write_page(va, index, b"tmp")
+            a.write_page(va, index, b"")
+        kernel.idle(2 * SECOND)
+        for vaddr in va.pages():
+            walk = a.address_space.page_table.walk(vaddr)
+            assert walk.pte.pfn == ZERO_FRAME
+            assert walk.pte.fused
+        shared, sharing = ksm.sharing_pairs()
+        assert sharing >= 6
+
+    def test_write_breaks_zero_mapping(self):
+        kernel, ksm = self.make_setup()
+        a = kernel.create_process("a")
+        va = a.mmap(2, mergeable=True)
+        for index in range(2):
+            a.write_page(va, index, b"x")
+            a.write_page(va, index, b"")
+        kernel.idle(2 * SECOND)
+        a.write_page(va, 0, b"fresh")
+        assert a.read_page(va, 0) == b"fresh"
+        assert kernel.physmem.read(ZERO_FRAME) == b""
+        walk = a.address_space.page_table.walk(va.start)
+        assert walk.pte.pfn != ZERO_FRAME
+
+    def test_disabled_by_default(self):
+        kernel, ksm = self.make_setup(use_zero_pages=False)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(2, mergeable=True)
+        vb = b.mmap(2, mergeable=True)
+        for proc, vma in ((a, va), (b, vb)):
+            for index in range(2):
+                proc.write_page(vma, index, b"y")
+                proc.write_page(vma, index, b"")
+        kernel.idle(2 * SECOND)
+        # Zero pages merge like any duplicate, onto a regular node.
+        walk = a.address_space.page_table.walk(va.start)
+        assert walk.pte.fused
+        assert walk.pte.pfn != ZERO_FRAME

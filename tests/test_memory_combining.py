@@ -1,0 +1,163 @@
+"""Tests for the Memory Combining engine (swap-cache-only fusion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion.ksm import Ksm
+from repro.fusion.memory_combining import CompressedStore, MemoryCombining
+from repro.kernel.kernel import Kernel
+from repro.params import MS, SECOND
+
+from tests.conftest import dup, fast_fusion, small_spec
+
+
+def make_setup(frames=8192, swap_after=200 * MS):
+    kernel = Kernel(small_spec(frames=frames))
+    engine = MemoryCombining(fast_fusion(), swap_after_ns=swap_after)
+    kernel.attach_fusion(engine)
+    return kernel, engine
+
+
+def pair_setup(kernel, count=8, tag="mc"):
+    a = kernel.create_process("a")
+    b = kernel.create_process("b")
+    va = a.mmap(count, mergeable=True)
+    vb = b.mmap(count, mergeable=True)
+    for index in range(count):
+        a.write_page(va, index, dup(tag, index))
+        b.write_page(vb, index, dup(tag, index))
+    return a, b, va, vb
+
+
+class TestCompressedStore:
+    def test_insert_and_combine(self):
+        store = CompressedStore()
+        assert not store.insert(b"page-a" * 100)
+        assert store.insert(b"page-a" * 100)  # duplicate combines
+        assert len(store) == 1
+        assert store.references(b"page-a" * 100) == 2
+
+    def test_fetch_restores_and_releases(self):
+        store = CompressedStore()
+        content = b"hello world" * 50
+        store.insert(content)
+        store.insert(content)
+        assert store.fetch(content) == content
+        assert len(store) == 1
+        store.fetch(content)
+        assert len(store) == 0
+        assert store.compressed_bytes == 0
+
+    def test_compression_actually_shrinks(self):
+        store = CompressedStore()
+        content = b"\xab" * 4096
+        store.insert(content)
+        assert store.compressed_bytes < len(content) // 4
+
+
+class TestEviction:
+    def test_idle_pages_swapped_out(self):
+        kernel, engine = make_setup()
+        a, b, va, vb = pair_setup(kernel)
+        kernel.idle(3 * SECOND)
+        assert engine.swap_outs >= 16
+        assert engine.evicted_pages() >= 16
+        # Duplicates combined in the store: 8 distinct contents.
+        shared, sharing = engine.sharing_pairs()
+        assert shared == 8
+        assert sharing == 16
+        assert engine.saved_frames() == 8
+
+    def test_hot_pages_stay_resident(self):
+        kernel, engine = make_setup()
+        a = kernel.create_process("a")
+        vma = a.mmap(1, mergeable=True)
+        a.write_page(vma, 0, dup("hot"))
+        for _ in range(100):
+            a.read_page(vma, 0)
+            kernel.idle(30 * MS)
+        assert engine.evicted_pages() == 0
+
+    def test_swap_in_restores_content(self):
+        kernel, engine = make_setup()
+        a, b, va, vb = pair_setup(kernel, count=4)
+        kernel.idle(3 * SECOND)
+        assert engine.evicted_pages() > 0
+        for index in range(4):
+            assert a.read_page(va, index) == dup("mc", index)
+        assert engine.swap_ins >= 1
+
+    def test_swap_in_is_private(self):
+        kernel, engine = make_setup()
+        a, b, va, vb = pair_setup(kernel, count=1)
+        kernel.idle(3 * SECOND)
+        a.write_page(va, 0, b"a-private")
+        assert b.read_page(vb, 0) == dup("mc", 0)
+
+    def test_swap_fault_is_expensive(self):
+        """The security-by-absence comes at swap-fault cost."""
+        kernel, engine = make_setup()
+        a, b, va, vb = pair_setup(kernel, count=2)
+        kernel.idle(3 * SECOND)
+        cold = a.read(va.start)
+        warm = a.read(va.start)
+        assert "demand" in cold.fault_kinds
+        assert cold.latency > 3 * warm.latency
+
+
+class TestSecurityByAbsence:
+    def test_cow_timing_attack_defeated(self):
+        """Evicted pages all fault alike on access, so the classic
+        timing probe cannot tell merged from unmerged — Memory
+        Combining is safe the same way disabling fusion is."""
+        from repro.attacks import AttackEnvironment, CowTimingAttack
+
+        result = CowTimingAttack(
+            AttackEnvironment("memory-combining")
+        ).run()
+        assert not result.success
+
+    def test_covert_channel_defeated(self):
+        from repro.attacks import AttackEnvironment, DedupCovertChannel
+
+        result = DedupCovertChannel(
+            AttackEnvironment("memory-combining")
+        ).run()
+        assert not result.success
+
+
+class TestFusionRateComparison:
+    def test_misses_fusion_opportunities_vs_ksm(self):
+        """The paper's §10.1 claim: memory combining saves less than
+        active fusion, because only swap-eligible pages participate."""
+
+        def savings(engine_factory):
+            kernel = Kernel(small_spec(frames=16384))
+            engine = engine_factory()
+            kernel.attach_fusion(engine)
+            a = kernel.create_process("a")
+            b = kernel.create_process("b")
+            va = a.mmap(64, mergeable=True)
+            vb = b.mmap(64, mergeable=True)
+            hot = list(range(0, 16))
+            for index in range(64):
+                a.write_page(va, index, dup("cmp", index))
+                b.write_page(vb, index, dup("cmp", index))
+            # A quarter of the duplicates stay in the working set.
+            for _ in range(60):
+                for index in hot:
+                    a.read_page(va, index)
+                    b.read_page(vb, index)
+                kernel.idle(50 * MS)
+            return engine.saved_frames()
+
+        ksm_saved = savings(lambda: Ksm(fast_fusion()))
+        combining_saved = savings(
+            lambda: MemoryCombining(fast_fusion(), swap_after_ns=200 * MS)
+        )
+        # KSM merges hot duplicates too (reads don't unmerge); memory
+        # combining can never touch the working set.
+        assert ksm_saved == 64
+        assert combining_saved <= 48
+        assert combining_saved > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the physical frame store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidFrameError
+from repro.mem.content import flip_bit, make_content
+from repro.mem.physmem import FrameType, PhysicalMemory
+
+
+@pytest.fixture
+def mem() -> PhysicalMemory:
+    return PhysicalMemory(128)
+
+
+class TestContents:
+    def test_initially_zero(self, mem):
+        assert mem.read(5) == b""
+
+    def test_write_read(self, mem):
+        mem.write(3, b"hello")
+        assert mem.read(3) == b"hello"
+
+    def test_copy(self, mem):
+        mem.write(1, b"data")
+        mem.copy(1, 2)
+        assert mem.read(2) == b"data"
+
+    def test_corrupt_bit_bypasses_everything(self, mem):
+        mem.write(7, b"\xff")
+        mem.corrupt_bit(7, 0, 0)
+        assert mem.read(7) == b"\xfe"
+
+    def test_corrupt_bit_matches_flip_bit(self, mem):
+        mem.write(7, b"abc")
+        mem.corrupt_bit(7, 100, 3)
+        assert mem.read(7) == flip_bit(make_content(b"abc"), 100, 3)
+
+    def test_version_bumps_on_stores_only(self, mem):
+        v0 = mem.version(9)
+        mem.write(9, b"a")
+        assert mem.version(9) == v0 + 1
+        mem.copy(0, 9)
+        assert mem.version(9) == v0 + 2
+        # Rowhammer corruption is not a recharge: version unchanged.
+        mem.corrupt_bit(9, 0, 0)
+        assert mem.version(9) == v0 + 2
+
+    def test_bad_pfn_rejected(self, mem):
+        with pytest.raises(InvalidFrameError):
+            mem.read(128)
+        with pytest.raises(InvalidFrameError):
+            mem.write(-1, b"")
+
+
+class TestRefcounts:
+    def test_get_put(self, mem):
+        mem.get_ref(4)
+        mem.get_ref(4)
+        assert mem.refcount(4) == 2
+        assert mem.put_ref(4) == 1
+        assert mem.put_ref(4) == 0
+
+    def test_underflow_raises(self, mem):
+        with pytest.raises(InvalidFrameError):
+            mem.put_ref(4)
+
+
+class TestRmap:
+    def test_add_remove(self, mem):
+        mem.rmap_add(10, 1, 0x1000)
+        mem.rmap_add(10, 2, 0x2000)
+        assert mem.rmap(10) == {(1, 0x1000), (2, 0x2000)}
+        mem.rmap_remove(10, 1, 0x1000)
+        assert mem.rmap(10) == {(2, 0x2000)}
+
+    def test_remove_missing_raises(self, mem):
+        with pytest.raises(InvalidFrameError):
+            mem.rmap_remove(10, 1, 0x1000)
+
+    def test_mapped_frames_sorted(self, mem):
+        mem.rmap_add(20, 1, 0)
+        mem.rmap_add(5, 1, 0)
+        assert list(mem.mapped_frames()) == [5, 20]
+
+
+class TestTypesAndAccounting:
+    def test_default_free(self, mem):
+        assert mem.frame_type(0) is FrameType.FREE
+        assert mem.frames_in_use() == 0
+
+    def test_in_use_accounting(self, mem):
+        mem.set_frame_type(1, FrameType.ANON)
+        mem.set_frame_type(2, FrameType.PAGE_CACHE)
+        assert mem.frames_in_use() == 2
+        histogram = mem.type_histogram()
+        assert histogram[FrameType.ANON] == 1
+        assert histogram[FrameType.FREE] == 126
+
+    def test_fusion_pinning(self, mem):
+        mem.pin_fused(3)
+        assert mem.is_fused(3)
+        mem.unpin_fused(3)
+        assert not mem.is_fused(3)
+        mem.unpin_fused(3)  # idempotent

@@ -1,0 +1,52 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_title_and_legend(self):
+        text = ascii_chart(
+            {"ksm": [(0, 1), (1, 2)], "vusion": [(0, 1), (1, 3)]},
+            title="Memory",
+        )
+        assert text.splitlines()[0] == "Memory"
+        assert "o=ksm" in text
+        assert "*=vusion" in text
+
+    def test_axis_labels(self):
+        text = ascii_chart({"a": [(0, 100), (10, 500)]})
+        assert "500" in text
+        assert "100" in text
+        assert "0.0" in text and "10.0" in text
+
+    def test_marker_positions_monotonic_series(self):
+        text = ascii_chart({"a": [(0, 0), (5, 5), (10, 10)]}, width=11, height=11)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # The rising series places its low point in the bottom row and
+        # its high point in the top row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart({"flat": [(0, 7), (5, 7)]})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = ascii_chart({"p": [(3, 3)]})
+        assert "o" in text
+
+    def test_height_and_width_respected(self):
+        text = ascii_chart({"a": [(0, 0), (1, 1)]}, width=20, height=5)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_rows) == 5
+        assert all(len(line.split("|", 1)[1]) <= 20 for line in plot_rows)
+
+    def test_many_series_marker_cycle(self):
+        series = {f"s{i}": [(0, i)] for i in range(10)}
+        text = ascii_chart(series)
+        assert "#=s4" in text

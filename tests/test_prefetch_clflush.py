@@ -1,0 +1,119 @@
+"""Tests for the prefetch and clflush architectural operations."""
+
+from __future__ import annotations
+
+from repro.core.vusion import Vusion
+from repro.kernel.kernel import Kernel
+from repro.params import FusionConfig, MS, SECOND, VusionConfig
+
+from tests.conftest import dup, fast_fusion, small_spec
+
+
+class TestPrefetchSemantics:
+    def test_prefetch_loads_cache(self, kernel):
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1)
+        proc.write(vma.start, b"x")
+        proc.clflush(vma.start)
+        miss = proc.prefetch(vma.start)
+        hit = proc.prefetch(vma.start)
+        assert not miss.llc_hit
+        assert hit.llc_hit
+        assert hit.latency < miss.latency
+
+    def test_prefetch_never_faults(self, kernel):
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1)
+        # Untouched page: no translation -> prefetch silently drops.
+        result = proc.prefetch(vma.start)
+        assert result.fault_kinds == ()
+        assert proc.address_space.page_table.walk(vma.start) is None
+
+    def test_prefetch_outside_vma_drops(self, kernel):
+        proc = kernel.create_process("p")
+        result = proc.prefetch(0xDEAD_0000)
+        assert result.latency <= kernel.costs.register_op + 1
+
+    def test_prefetch_ignores_reserved_bit(self):
+        """The core of the Gruss et al. channel: a page the process
+        cannot read can still be probed via prefetch (without CD)."""
+        kernel = Kernel(small_spec())
+        vusion = Vusion(
+            VusionConfig(random_pool_frames=64, min_idle_ns=50 * MS,
+                         cache_disable_enabled=False),
+            fast_fusion(),
+        )
+        kernel.attach_fusion(vusion)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1, mergeable=True)
+        proc.write(vma.start, dup("pf"))
+        kernel.idle(2 * SECOND)
+        walk = proc.address_space.page_table.walk(vma.start)
+        assert walk.pte.reserved and not walk.pte.cache_disabled
+        kernel.llc.flush_frame(walk.pte.pfn)
+        result = proc.prefetch(vma.start)
+        assert result.fault_kinds == ()
+        # The page is still fused afterwards: no copy-on-access ran.
+        assert proc.address_space.page_table.walk(vma.start).pte.fused
+        assert kernel.llc.contains_line(walk.pte.pfn * 4096)
+
+    def test_cd_bit_blocks_prefetch(self):
+        kernel = Kernel(small_spec())
+        vusion = Vusion(
+            VusionConfig(random_pool_frames=64, min_idle_ns=50 * MS),
+            fast_fusion(),
+        )
+        kernel.attach_fusion(vusion)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1, mergeable=True)
+        proc.write(vma.start, dup("pf-cd"))
+        kernel.idle(2 * SECOND)
+        walk = proc.address_space.page_table.walk(vma.start)
+        assert walk.pte.cache_disabled
+        # The scan's own copies may have cached the node; clear that
+        # state, then show the prefetch cannot bring it back.
+        kernel.llc.flush_frame(walk.pte.pfn)
+        proc.prefetch(vma.start)
+        assert not kernel.llc.contains_line(walk.pte.pfn * 4096)
+
+
+class TestClflush:
+    def test_flush_evicts(self, kernel):
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1)
+        proc.write(vma.start, b"x")
+        assert proc.read(vma.start).llc_hit
+        proc.clflush(vma.start)
+        assert not proc.read(vma.start).llc_hit
+
+    def test_flush_requires_read_access(self):
+        """Flushing a VUsion-fused page takes a copy-on-access first."""
+        kernel = Kernel(small_spec())
+        vusion = Vusion(
+            VusionConfig(random_pool_frames=64, min_idle_ns=50 * MS),
+            fast_fusion(),
+        )
+        kernel.attach_fusion(vusion)
+        proc = kernel.create_process("p")
+        vma = proc.mmap(1, mergeable=True)
+        proc.write(vma.start, dup("fl"))
+        kernel.idle(2 * SECOND)
+        assert proc.address_space.page_table.walk(vma.start).pte.fused
+        result = proc.clflush(vma.start)
+        assert "copy_on_access" in result.fault_kinds
+        assert not proc.address_space.page_table.walk(vma.start).pte.fused
+
+
+class TestCachedCopy:
+    def test_copy_page_cached(self, kernel):
+        from repro.mem.physmem import FrameType
+
+        src = kernel.alloc_frame(FrameType.ANON)
+        dst = kernel.alloc_frame(FrameType.ANON)
+        kernel.physmem.write(src, b"payload")
+        kernel.llc.flush_frame(src)
+        kernel.llc.flush_frame(dst)
+        kernel.copy_page_cached(src, dst)
+        assert kernel.physmem.read(dst) == b"payload"
+        assert kernel.llc.contains_line(src * 4096)
+        assert kernel.llc.contains_line(dst * 4096)

@@ -1,0 +1,111 @@
+"""Tests for attacker-side measurement primitives."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackEnvironment
+from repro.attacks.primitives import (
+    CacheProbe,
+    TlbEvictionSet,
+    calibrate_read_baseline,
+    calibrate_write_baseline,
+    write_unique,
+)
+
+
+def make_env():
+    return AttackEnvironment("none", frames=16384)
+
+
+class TestCalibration:
+    def test_write_baseline_is_warm(self):
+        env = make_env()
+        baseline = calibrate_write_baseline(env.attacker)
+        # A warm write: TLB hit + LLC hit territory, far below a fault.
+        assert baseline < env.kernel.costs.fault_trap
+
+    def test_read_baseline_is_warm(self):
+        env = make_env()
+        baseline = calibrate_read_baseline(env.attacker)
+        assert baseline < env.kernel.costs.fault_trap
+
+
+class TestWriteUnique:
+    def test_contents_distinct(self):
+        env = make_env()
+        vma = env.attacker.mmap(32, mergeable=True)
+        contents = write_unique(env.attacker, vma, env.rng)
+        assert len(set(contents)) == 32
+
+    def test_readback_matches(self):
+        env = make_env()
+        vma = env.attacker.mmap(8, mergeable=True)
+        contents = write_unique(env.attacker, vma, env.rng)
+        for index, content in enumerate(contents):
+            assert env.attacker.read(vma.start + index * 4096).content == content
+
+
+class TestTlbEvictionSet:
+    def test_eviction_forces_walks(self):
+        env = make_env()
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        evictor = TlbEvictionSet(env.attacker, pages=256)
+        env.attacker.read(target.start)
+        warm = env.attacker.read(target.start)
+        assert warm.tlb_hit
+        evictor.evict()
+        cold = env.attacker.read(target.start)
+        assert not cold.tlb_hit
+
+
+class TestCacheProbe:
+    def test_threshold_separates_hit_miss(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=512)
+        costs = env.kernel.costs
+        assert probe.miss_threshold > costs.llc_hit
+        assert probe.miss_threshold < costs.llc_hit + costs.dram_row_miss + 100
+
+    def test_pool_evicts_target(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=4096)
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        assert probe.evicts(probe.pool_addresses(), target.start)
+
+    def test_small_set_does_not_evict(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=2048)
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        assert not probe.evicts(probe.pool_addresses()[:8], target.start)
+
+    def test_eviction_set_reduction(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=4096)
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        eviction_set = probe.build_eviction_set(target.start)
+        assert eviction_set is not None
+        assert len(eviction_set) < 4096 // 4  # substantially reduced
+        assert probe.evicts(eviction_set, target.start)
+
+    def test_prime_probe_detects_conflict(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=4096)
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        eviction_set = probe.build_eviction_set(target.start)
+        probe.prime(eviction_set)
+        env.attacker.read(target.start)  # evicts one primed line
+        assert probe.probe(eviction_set) > 0
+
+    def test_prime_probe_clean_without_conflict(self):
+        env = make_env()
+        probe = CacheProbe(env.attacker, pool_pages=4096)
+        target = env.attacker.mmap(1)
+        env.attacker.write(target.start, b"t")
+        eviction_set = probe.build_eviction_set(target.start)
+        probe.prime(eviction_set)
+        # Touch nothing in that set: the probe must come back clean.
+        assert probe.probe(eviction_set) == 0

@@ -1,0 +1,116 @@
+"""Tests for the round-robin scan cursor and engine base plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.base import FusionEngine, FusionStats, ScanCursor
+from repro.kernel.kernel import Kernel
+from repro.params import PAGE_SIZE
+
+from tests.conftest import small_spec
+
+
+class TestScanCursor:
+    def make_setup(self, layout):
+        """layout: list of page counts, one mergeable VMA per process."""
+        kernel = Kernel(small_spec())
+        vmas = []
+        for index, pages in enumerate(layout):
+            process = kernel.create_process(f"p{index}")
+            vmas.append((process, process.mmap(pages, mergeable=True)))
+        return kernel, vmas
+
+    def test_empty_machine_yields_nothing(self):
+        kernel = Kernel(small_spec())
+        cursor = ScanCursor(kernel)
+        assert cursor.next_pages(10) == []
+
+    def test_registration_order_preserved(self):
+        kernel, vmas = self.make_setup([2, 3])
+        cursor = ScanCursor(kernel)
+        batch = cursor.next_pages(5)
+        owners = [process.name for process, _vma, _vaddr in batch]
+        assert owners == ["p0", "p0", "p1", "p1", "p1"]
+
+    def test_addresses_ascend_within_vma(self):
+        kernel, vmas = self.make_setup([4])
+        cursor = ScanCursor(kernel)
+        batch = cursor.next_pages(4)
+        addresses = [vaddr for _p, _v, vaddr in batch]
+        process, vma = vmas[0]
+        assert addresses == [vma.start + i * PAGE_SIZE for i in range(4)]
+
+    def test_wraps_and_counts_full_scans(self):
+        kernel, _vmas = self.make_setup([2, 2])
+        cursor = ScanCursor(kernel)
+        assert cursor.full_scans == 0
+        cursor.next_pages(4)
+        cursor.next_pages(1)  # triggers the wrap
+        assert cursor.full_scans == 1
+
+    def test_new_vmas_picked_up_on_rebuild(self):
+        kernel, vmas = self.make_setup([1])
+        cursor = ScanCursor(kernel)
+        cursor.next_pages(1)
+        late = kernel.create_process("late")
+        late_vma = late.mmap(1, mergeable=True)
+        batch = cursor.next_pages(2)
+        assert any(vma is late_vma for _p, vma, _a in batch)
+
+    def test_unmapped_vma_skipped(self):
+        kernel, vmas = self.make_setup([2, 2])
+        process, vma = vmas[0]
+        cursor = ScanCursor(kernel)
+        cursor.next_pages(1)
+        process.munmap(vma)
+        batch = cursor.next_pages(4)
+        assert all(v is not vma for _p, v, _a in batch)
+
+    def test_non_mergeable_ignored(self):
+        kernel = Kernel(small_spec())
+        process = kernel.create_process("p")
+        process.mmap(4, mergeable=False)
+        cursor = ScanCursor(kernel)
+        assert cursor.next_pages(8) == []
+
+
+class TestFusionEngineBase:
+    class Minimal(FusionEngine):
+        name = "minimal"
+
+        def _register(self, kernel):
+            pass
+
+        def saved_frames(self):
+            return 0
+
+    def test_default_hooks_raise_or_noop(self):
+        kernel = Kernel(small_spec())
+        engine = self.Minimal()
+        kernel.attach_fusion(engine)
+        with pytest.raises(FusionError):
+            engine.handle_reserved_fault(None, 0, None, None)
+        with pytest.raises(FusionError):
+            engine.handle_fused_write(None, 0, None)
+        with pytest.raises(FusionError):
+            engine.unmerge_for_collapse(None, 0)
+        engine.on_fused_ref_drop(3)  # no-op
+        assert not engine.release_frame(3)
+        assert engine.sharing_pairs() == (0, 0)
+
+    def test_double_attach_rejected(self):
+        kernel = Kernel(small_spec())
+        kernel.attach_fusion(self.Minimal())
+        with pytest.raises(FusionError):
+            kernel.attach_fusion(self.Minimal())
+
+    def test_stats_dataclass_defaults(self):
+        stats = FusionStats()
+        assert stats.merges == 0
+        assert stats.merge_frame_log == []
+        # Each instance gets its own log.
+        other = FusionStats()
+        stats.merge_frame_log.append(1)
+        assert other.merge_frame_log == []

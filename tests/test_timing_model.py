@@ -1,0 +1,106 @@
+"""Unit tests for the composite access-timing model and cost params."""
+
+from __future__ import annotations
+
+from repro.cache.llc import LastLevelCache
+from repro.cache.timing import AccessTimer
+from repro.dram.geometry import DramMapper
+from repro.params import (
+    CacheGeometry,
+    CostModel,
+    DramGeometry,
+    MachineSpec,
+    PAGE_SIZE,
+    TlbGeometry,
+)
+
+
+def make_timer():
+    costs = CostModel()
+    llc = LastLevelCache(CacheGeometry())
+    dram = DramMapper(DramGeometry(), 4096)
+    return costs, llc, AccessTimer(costs, llc, dram)
+
+
+class TestDramRowBuffer:
+    def test_first_access_misses_row(self):
+        costs, _llc, timer = make_timer()
+        assert timer.dram_access(0) == costs.dram_row_miss
+
+    def test_same_row_hits(self):
+        costs, _llc, timer = make_timer()
+        timer.dram_access(0)
+        assert timer.dram_access(1) == costs.dram_row_hit  # row spans 2 pages
+
+    def test_other_bank_keeps_row_open(self):
+        costs, _llc, timer = make_timer()
+        timer.dram_access(0)
+        timer.dram_access(2)  # different bank
+        assert timer.dram_access(0) == costs.dram_row_hit
+
+    def test_row_conflict_in_same_bank(self):
+        costs, _llc, timer = make_timer()
+        timer.dram_access(0)
+        timer.dram_access(16)  # same bank, next row
+        assert timer.dram_access(0) == costs.dram_row_miss
+
+
+class TestMemoryAccess:
+    def test_cacheable_hit_cheap(self):
+        costs, _llc, timer = make_timer()
+        timer.memory_access(0x1000, cacheable=True)
+        assert timer.memory_access(0x1000, cacheable=True) == costs.llc_hit
+
+    def test_uncached_never_allocates(self):
+        costs, llc, timer = make_timer()
+        first = timer.memory_access(0x2000, cacheable=False)
+        assert first >= costs.uncached_access
+        assert not llc.contains_line(0x2000)
+
+    def test_uncached_still_opens_rows(self):
+        """Reading an uncacheable page still hammers its DRAM row."""
+        costs, _llc, timer = make_timer()
+        timer.memory_access(0x0, cacheable=False)
+        # The row is now open: a cacheable miss to the same row is cheap.
+        second = timer.memory_access(PAGE_SIZE, cacheable=True)
+        assert second == costs.llc_hit + costs.dram_row_hit
+
+    def test_translation_costs(self):
+        costs, _llc, timer = make_timer()
+        assert timer.translation(True, 4) == costs.tlb_hit
+        walk4 = timer.translation(False, 4)
+        walk3 = timer.translation(False, 3)
+        assert walk4 - walk3 == costs.page_walk_per_level
+
+
+class TestGeometryParams:
+    def test_paper_cache_geometry(self):
+        geometry = CacheGeometry()
+        assert geometry.num_sets == 8192
+        assert geometry.num_colors == 128
+
+    def test_tlb_sets(self):
+        assert TlbGeometry(entries=64, ways=4).num_sets == 16
+
+    def test_dram_row_stride(self):
+        assert DramGeometry().row_stride_pages == 16
+
+    def test_machine_scaling(self):
+        spec = MachineSpec(total_frames=1000)
+        bigger = spec.scaled(2000)
+        assert bigger.total_frames == 2000
+        assert bigger.cache == spec.cache
+        assert bigger.total_bytes == 2000 * PAGE_SIZE
+
+    def test_side_channel_orderings(self):
+        """The cost model must preserve the latency orderings every
+        attack in the paper depends on."""
+        costs = CostModel()
+        assert costs.llc_hit < costs.llc_hit + costs.dram_row_hit
+        assert costs.dram_row_hit < costs.dram_row_miss
+        assert costs.tlb_hit < costs.page_walk_per_level
+        # A fault dwarfs any plain access.
+        assert costs.fault_trap > 4 * (
+            costs.tlb_hit + 4 * costs.page_walk_per_level
+            + costs.llc_hit + costs.dram_row_miss
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the set-associative TLB."""
+
+from __future__ import annotations
+
+from repro.mmu.tlb import Tlb
+from repro.params import TlbGeometry
+
+
+def make_tlb(entries=16, ways=4) -> Tlb:
+    return Tlb(TlbGeometry(entries=entries, ways=ways))
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert not tlb.lookup(5, False)
+        tlb.insert(5, False)
+        assert tlb.lookup(5, False)
+
+    def test_hit_miss_counters(self):
+        tlb = make_tlb()
+        tlb.lookup(1, False)
+        tlb.insert(1, False)
+        tlb.lookup(1, False)
+        assert tlb.misses == 1
+        assert tlb.hits == 1
+
+    def test_huge_and_small_distinct(self):
+        tlb = make_tlb()
+        tlb.insert(3, False)
+        assert not tlb.lookup(3, True)
+
+    def test_lru_eviction_within_set(self):
+        tlb = make_tlb(entries=8, ways=2)  # 4 sets
+        set_stride = 4
+        tlb.insert(0, False)
+        tlb.insert(set_stride, False)
+        tlb.insert(2 * set_stride, False)  # evicts vpn 0
+        assert not tlb.lookup(0, False)
+        assert tlb.lookup(set_stride, False)
+
+    def test_reinsert_refreshes_lru(self):
+        tlb = make_tlb(entries=8, ways=2)
+        stride = 4
+        tlb.insert(0, False)
+        tlb.insert(stride, False)
+        tlb.insert(0, False)  # refresh
+        tlb.insert(2 * stride, False)  # evicts vpn stride
+        assert tlb.lookup(0, False)
+        assert not tlb.lookup(stride, False)
+
+
+class TestInvalidation:
+    def test_invalidate_page_removes_small(self):
+        tlb = make_tlb()
+        tlb.insert(7, False)
+        tlb.invalidate_page(7)
+        assert not tlb.lookup(7, False)
+
+    def test_invalidate_page_removes_covering_huge(self):
+        tlb = make_tlb()
+        huge_vpn = 3
+        tlb.insert(huge_vpn, True)
+        # Any 4 KiB page inside the huge mapping invalidates it.
+        tlb.invalidate_page((huge_vpn << 9) | 17)
+        assert not tlb.lookup(huge_vpn, True)
+
+    def test_flush_clears_everything(self):
+        tlb = make_tlb()
+        for vpn in range(10):
+            tlb.insert(vpn, False)
+        tlb.flush()
+        assert tlb.occupancy() == 0

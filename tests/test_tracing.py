@@ -1,0 +1,96 @@
+"""Tests for the kernel tracepoint facility."""
+
+from __future__ import annotations
+
+from repro.core.vusion import Vusion
+from repro.fusion.ksm import Ksm
+from repro.kernel.kernel import Kernel
+from repro.kernel.tracing import TraceEvent, Tracepoints
+from repro.params import MS, SECOND, VusionConfig
+
+from tests.conftest import dup, fast_fusion, small_spec
+
+
+class TestTracepoints:
+    def test_off_by_default(self):
+        trace = Tracepoints()
+        trace.emit(0, "x", a=1)
+        assert trace.events() == []
+        assert trace.counts() == {}
+
+    def test_record_and_query(self):
+        trace = Tracepoints()
+        trace.record()
+        trace.emit(5, "merge", pfn=7)
+        trace.emit(6, "split", vaddr=0x1000)
+        assert len(trace.events()) == 2
+        assert trace.events("merge")[0].fields["pfn"] == 7
+        assert trace.counts()["split"] == 1
+
+    def test_ring_buffer_bounded(self):
+        trace = Tracepoints()
+        trace.record(capacity=4)
+        for index in range(10):
+            trace.emit(index, "e", i=index)
+        events = trace.events()
+        assert len(events) == 4
+        assert events[0].fields["i"] == 6
+
+    def test_subscribe(self):
+        trace = Tracepoints()
+        seen = []
+        trace.subscribe("merge", seen.append)
+        trace.emit(1, "merge")
+        trace.emit(2, "other")
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceEvent)
+
+
+class TestKernelIntegration:
+    def test_ksm_merge_events(self):
+        kernel = Kernel(small_spec())
+        kernel.attach_fusion(Ksm(fast_fusion()))
+        kernel.tracepoints.record()
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = a.mmap(4, mergeable=True)
+        vb = b.mmap(4, mergeable=True)
+        for index in range(4):
+            a.write_page(va, index, dup("tr", index))
+            b.write_page(vb, index, dup("tr", index))
+        kernel.idle(2 * SECOND)
+        counts = kernel.tracepoints.counts()
+        assert counts.get("fusion:promote", 0) == 4
+        assert counts.get("fusion:merge", 0) == 4
+        assert counts.get("fault:demand", 0) >= 8
+        a.write_page(va, 0, b"z")
+        assert kernel.tracepoints.counts().get("fusion:unmerge", 0) == 1
+
+    def test_vusion_events(self):
+        kernel = Kernel(small_spec())
+        kernel.attach_fusion(
+            Vusion(VusionConfig(random_pool_frames=64, min_idle_ns=50 * MS),
+                   fast_fusion())
+        )
+        kernel.tracepoints.record()
+        a = kernel.create_process("a")
+        va = a.mmap(2, mergeable=True)
+        a.write_page(va, 0, dup("tv", 0))
+        a.write_page(va, 1, dup("tv", 1))
+        kernel.idle(2 * SECOND)
+        counts = kernel.tracepoints.counts()
+        assert counts.get("fusion:fake_merge", 0) >= 2
+        assert counts.get("fusion:rerandomize", 0) >= 1
+        a.read_page(va, 0)
+        assert kernel.tracepoints.counts().get("fusion:coa", 0) == 1
+
+    def test_events_carry_timestamps(self):
+        kernel = Kernel(small_spec())
+        kernel.attach_fusion(Ksm(fast_fusion()))
+        kernel.tracepoints.record()
+        a = kernel.create_process("a")
+        va = a.mmap(1, mergeable=True)
+        a.write_page(va, 0, dup("ts"))
+        events = kernel.tracepoints.events("fault:demand")
+        assert events and events[0].t_ns >= 0
+        assert events[0].fields["pid"] == a.pid

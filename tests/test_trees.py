@@ -1,0 +1,173 @@
+"""Property and unit tests for the content-keyed RB and AVL trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fusion.avl import AvlTree
+from repro.fusion.rbtree import RedBlackTree
+
+
+class Box:
+    """A hashable value with a mutable key (models a drifting page)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: bytes) -> None:
+        self.key = key
+
+
+def make_rb(values=()):
+    tree = RedBlackTree(key_of=lambda box: box.key)
+    for value in values:
+        tree.insert(value)
+    return tree
+
+
+class TestRedBlackBasics:
+    def test_insert_search(self):
+        box = Box(b"m")
+        tree = make_rb([box])
+        assert tree.search(b"m") is box
+        assert tree.search(b"x") is None
+
+    def test_len_and_contains(self):
+        boxes = [Box(bytes([i])) for i in range(10)]
+        tree = make_rb(boxes)
+        assert len(tree) == 10
+        assert boxes[3] in tree
+
+    def test_duplicate_value_rejected(self):
+        box = Box(b"a")
+        tree = make_rb([box])
+        with pytest.raises(ValueError):
+            tree.insert(box)
+
+    def test_remove(self):
+        boxes = [Box(bytes([i])) for i in range(20)]
+        tree = make_rb(boxes)
+        for box in boxes[::2]:
+            tree.remove(box)
+        assert len(tree) == 10
+        tree.check_invariants()
+        for box in boxes[::2]:
+            assert tree.search(box.key) is None
+        for box in boxes[1::2]:
+            assert tree.search(box.key) is box
+
+    def test_discard_missing(self):
+        tree = make_rb()
+        assert not tree.discard(Box(b"a"))
+
+    def test_clear(self):
+        tree = make_rb([Box(b"a"), Box(b"b")])
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.search(b"a") is None
+
+    def test_key_drift_degrades_search_but_not_removal(self):
+        """A drifted key may no longer be findable (like KSM's unstable
+        tree) but structural removal still works."""
+        boxes = [Box(bytes([i])) for i in range(16)]
+        tree = make_rb(boxes)
+        boxes[5].key = b"\xff\xff"
+        tree.remove(boxes[5])
+        tree.check_invariants()
+        assert len(tree) == 15
+
+    def test_compare_hook_called(self):
+        count = 0
+
+        def hook():
+            nonlocal count
+            count += 1
+
+        tree = RedBlackTree(key_of=lambda b: b.key, on_compare=hook)
+        tree.insert(Box(b"a"))
+        tree.insert(Box(b"b"))
+        tree.search(b"b")
+        assert count > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=8), unique=True, min_size=1, max_size=80))
+def test_rb_property_insert_search_remove(keys):
+    boxes = [Box(key) for key in keys]
+    tree = make_rb(boxes)
+    tree.check_invariants()
+    for box in boxes:
+        assert tree.search(box.key) is box
+    for box in boxes[::2]:
+        tree.remove(box)
+        tree.check_invariants()
+    for box in boxes[::2]:
+        assert tree.search(box.key) is None
+    for box in boxes[1::2]:
+        assert tree.search(box.key) is box
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=8), unique=True, min_size=1, max_size=80),
+    st.randoms(use_true_random=False),
+)
+def test_rb_property_random_removal_order(keys, rng):
+    boxes = [Box(key) for key in keys]
+    tree = make_rb(boxes)
+    order = list(boxes)
+    rng.shuffle(order)
+    for box in order:
+        tree.remove(box)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+class TestAvlBasics:
+    def test_insert_search(self):
+        tree = AvlTree()
+        tree.insert(b"k", "v")
+        assert tree.search(b"k") == "v"
+        assert tree.search(b"x") is None
+        assert b"k" in tree
+
+    def test_duplicate_key_rejected(self):
+        tree = AvlTree()
+        tree.insert(b"k", 1)
+        with pytest.raises(ValueError):
+            tree.insert(b"k", 2)
+
+    def test_remove(self):
+        tree = AvlTree()
+        for i in range(30):
+            tree.insert(bytes([i]), i)
+        assert tree.remove(bytes([7])) == 7
+        assert tree.search(bytes([7])) is None
+        assert len(tree) == 29
+        tree.check_invariants()
+
+    def test_remove_missing_raises(self):
+        tree = AvlTree()
+        with pytest.raises(KeyError):
+            tree.remove(b"x")
+
+    def test_items_sorted(self):
+        tree = AvlTree()
+        for key in [b"c", b"a", b"b"]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [b"a", b"b", b"c"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=8), unique=True, min_size=1, max_size=100))
+def test_avl_property_balanced(keys):
+    tree = AvlTree()
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    for key in keys[::3]:
+        tree.remove(key)
+        tree.check_invariants()
+    remaining = sorted(set(keys) - set(keys[::3]))
+    assert [k for k, _ in tree.items()] == remaining

@@ -1,0 +1,233 @@
+"""Tests for VM images and the synthetic benchmark workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.mem.content import tagged_content
+from repro.params import PAGE_SIZE, SECOND
+from repro.workloads import (
+    ApacheWorkload,
+    BenchSpec,
+    DISTRO_IMAGES,
+    KeyValueWorkload,
+    OperationStats,
+    PostmarkWorkload,
+    StreamWorkload,
+    SyntheticBenchmark,
+    boot_vm,
+    diverse_images,
+)
+from repro.workloads.base import skewed_index
+import random
+
+from tests.conftest import small_spec
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(small_spec(frames=16384))
+
+
+class TestOperationStats:
+    def test_throughput(self):
+        stats = OperationStats("x", operations=100, simulated_ns=SECOND)
+        assert stats.throughput_per_s == 100
+
+    def test_zero_time(self):
+        assert OperationStats("x").throughput_per_s == 0.0
+
+    def test_percentiles(self):
+        stats = OperationStats("x")
+        stats.latencies = list(range(1, 101))
+        assert stats.percentile(50) == 50
+        assert stats.percentile(99) == 99
+        assert stats.percentile(100) == 100
+
+    def test_percentile_empty(self):
+        assert OperationStats("x").percentile(99) == 0
+
+    def test_mean(self):
+        stats = OperationStats("x")
+        stats.latencies = [10, 20, 30]
+        assert stats.mean_latency == 20
+
+
+class TestSkewedIndex:
+    def test_range(self):
+        rng = random.Random(1)
+        values = [skewed_index(rng, 100, 3.0) for _ in range(1000)]
+        assert all(0 <= v < 100 for v in values)
+
+    def test_skew_concentrates_low(self):
+        rng = random.Random(1)
+        values = [skewed_index(rng, 100, 4.0) for _ in range(2000)]
+        low = sum(1 for v in values if v < 10)
+        assert low > len(values) * 0.4
+
+
+class TestVmImages:
+    def test_same_image_vms_hold_duplicates(self, kernel):
+        image = DISTRO_IMAGES["debian"]
+        a = boot_vm(kernel, "a", image)
+        b = boot_vm(kernel, "b", image)
+        content_a = a.process.read(a.page_addr("page_cache", 5)).content
+        content_b = b.process.read(b.page_addr("page_cache", 5)).content
+        assert content_a == content_b
+        kernel_a = a.process.read(a.page_addr("kernel", 0)).content
+        kernel_b = b.process.read(b.page_addr("kernel", 0)).content
+        assert kernel_a == kernel_b
+
+    def test_app_pages_unique_per_vm(self, kernel):
+        image = DISTRO_IMAGES["debian"]
+        a = boot_vm(kernel, "a", image)
+        b = boot_vm(kernel, "b", image)
+        assert (
+            a.process.read(a.page_addr("rest", 0)).content
+            != b.process.read(b.page_addr("rest", 0)).content
+        )
+
+    def test_different_distros_differ(self, kernel):
+        a = boot_vm(kernel, "a", DISTRO_IMAGES["debian"])
+        b = boot_vm(kernel, "b", DISTRO_IMAGES["ubuntu"])
+        assert (
+            a.process.read(a.page_addr("kernel", 0)).content
+            != b.process.read(b.page_addr("kernel", 0)).content
+        )
+
+    def test_free_region_mostly_zero(self, kernel):
+        vm = boot_vm(kernel, "a", DISTRO_IMAGES["debian"])
+        zeros = sum(
+            1
+            for index in range(vm.image.free_pages)
+            if vm.process.read(vm.page_addr("buddy", index)).content == b""
+        )
+        assert zeros >= vm.image.free_pages * 0.7
+
+    def test_regions_tagged(self, kernel):
+        vm = boot_vm(kernel, "a", DISTRO_IMAGES["centos"])
+        for kind in ("kernel", "page_cache", "buddy", "rest"):
+            assert vm.region(kind).extra["guest_kind"] == kind
+
+    def test_diverse_images_deterministic(self):
+        assert diverse_images(8, seed=7) == diverse_images(8, seed=7)
+        assert diverse_images(8, seed=7) != diverse_images(8, seed=8)
+
+    def test_total_pages(self):
+        image = DISTRO_IMAGES["debian"]
+        assert image.total_pages == (
+            image.kernel_pages + image.page_cache_pages
+            + image.free_pages + image.app_pages
+        )
+
+
+class TestApacheWorkload:
+    def test_requests_complete_and_time_passes(self, kernel):
+        vm = boot_vm(kernel, "web", DISTRO_IMAGES["debian"])
+        workload = ApacheWorkload(vm)
+        stats = workload.run(200)
+        assert stats.operations == 200
+        assert stats.simulated_ns > 0
+        assert len(stats.latencies) == 200
+
+    def test_worker_pool_expands(self, kernel):
+        vm = boot_vm(kernel, "web", DISTRO_IMAGES["debian"])
+        workload = ApacheWorkload(vm, expand_every=10)
+        before = workload.worker_pages
+        workload.run(100)
+        assert workload.worker_pages > before
+
+    def test_latency_includes_compute(self, kernel):
+        vm = boot_vm(kernel, "web", DISTRO_IMAGES["debian"])
+        workload = ApacheWorkload(vm, compute_ns=50_000)
+        stats = workload.run(10)
+        assert min(stats.latencies) >= 50_000
+
+
+class TestKeyValueWorkload:
+    def test_get_set_split(self, kernel):
+        proc = kernel.create_process("kv")
+        workload = KeyValueWorkload(proc, kind="redis", value_pages=128)
+        stats, gets, sets = workload.run_split(500)
+        assert stats.operations == 500
+        assert gets.operations + sets.operations == 500
+        assert sets.operations > 0
+
+    def test_memcached_has_larger_footprint(self, kernel):
+        redis = KeyValueWorkload(kernel.create_process("r"), kind="redis",
+                                 value_pages=128)
+        memcached = KeyValueWorkload(kernel.create_process("m"),
+                                     kind="memcached", value_pages=128)
+        assert memcached.values.num_pages > redis.values.num_pages
+
+    def test_default_pages_identical(self, kernel):
+        proc = kernel.create_process("kv")
+        workload = KeyValueWorkload(proc, kind="redis", value_pages=256,
+                                    default_fraction=0.5)
+        contents = [
+            proc.read(workload.values.start + page * PAGE_SIZE).content
+            for page in range(256)
+        ]
+        default = tagged_content("redis", "default-object", proc.name)
+        share = sum(1 for c in contents if c == default) / 256
+        assert 0.3 < share < 0.7
+
+    def test_unknown_kind_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            KeyValueWorkload(kernel.create_process("kv"), kind="etcd")
+
+
+class TestPostmarkWorkload:
+    def test_transactions_run(self, kernel):
+        vm = boot_vm(kernel, "mail", DISTRO_IMAGES["debian"])
+        workload = PostmarkWorkload(vm)
+        stats = workload.run(300)
+        assert stats.operations == 300
+        assert stats.simulated_ns > 0
+
+    def test_files_churn(self, kernel):
+        vm = boot_vm(kernel, "mail", DISTRO_IMAGES["debian"])
+        workload = PostmarkWorkload(vm, initial_files=16)
+        ids_before = set(workload._files)
+        workload.run(400)
+        assert set(workload._files) != ids_before
+
+
+class TestStreamWorkload:
+    def test_bandwidth_positive(self, kernel):
+        proc = kernel.create_process("stream")
+        stream = StreamWorkload(proc, array_pages=64)
+        for name in ("copy", "scale", "add", "triad"):
+            assert stream.kernel_bandwidth(name, iterations=1) > 0
+
+    def test_add_moves_more_bytes_per_op(self, kernel):
+        proc = kernel.create_process("stream")
+        stream = StreamWorkload(proc, array_pages=32)
+        elapsed_copy, moved_copy = stream._sweep(("a",), ("c",))
+        elapsed_add, moved_add = stream._sweep(("a", "b"), ("c",))
+        assert moved_add == moved_copy * 3 // 2
+
+    def test_run_counts_kernels(self, kernel):
+        proc = kernel.create_process("stream")
+        stream = StreamWorkload(proc, array_pages=16)
+        stats = stream.run(2)
+        assert stats.operations == 8
+
+
+class TestSyntheticBenchmark:
+    def test_runs_and_reports(self, kernel):
+        proc = kernel.create_process("bench")
+        bench = SyntheticBenchmark(proc, BenchSpec("toy", pages=64))
+        stats = bench.run(50)
+        assert stats.operations == 50
+        assert stats.name == "toy"
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            kernel = Kernel(small_spec(frames=16384))
+            proc = kernel.create_process("bench")
+            bench = SyntheticBenchmark(proc, BenchSpec("toy", pages=64), seed=5)
+            return bench.run(50).simulated_ns
+
+        assert run_once() == run_once()

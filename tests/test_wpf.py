@@ -1,0 +1,151 @@
+"""Behavioural tests for Windows Page Fusion."""
+
+from __future__ import annotations
+
+from repro.fusion.wpf import WindowsPageFusion
+from repro.kernel.kernel import Kernel
+from repro.params import MINUTE, WpfConfig
+
+from tests.conftest import dup, small_spec
+
+
+def make_wpf_setup(frames: int = 4096):
+    kernel = Kernel(small_spec(frames=frames))
+    engine = WindowsPageFusion(WpfConfig(pass_interval=15 * MINUTE))
+    kernel.attach_fusion(engine)
+    return kernel, engine
+
+
+def run_pass(kernel):
+    kernel.idle(15 * MINUTE + 1)
+
+
+def pair_setup(kernel, count=4, tag="w"):
+    a = kernel.create_process("a")
+    b = kernel.create_process("b")
+    va = a.mmap(count, mergeable=True)
+    vb = b.mmap(count, mergeable=True)
+    for index in range(count):
+        a.write_page(va, index, dup(tag, index))
+        b.write_page(vb, index, dup(tag, index))
+    return a, b, va, vb
+
+
+class TestWpfMerging:
+    def test_duplicates_merge_on_pass(self):
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel)
+        assert wpf.saved_frames() == 0
+        run_pass(kernel)
+        assert wpf.saved_frames() == 4
+        shared, sharing = wpf.sharing_pairs()
+        assert (shared, sharing) == (4, 8)
+
+    def test_new_frames_back_merges(self):
+        """Unlike KSM, neither party's frame backs the fused page."""
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=1)
+        before_a = a.address_space.page_table.walk(va.start).pfn
+        before_b = b.address_space.page_table.walk(vb.start).pfn
+        run_pass(kernel)
+        after = a.address_space.page_table.walk(va.start).pfn
+        assert after not in (before_a, before_b)
+        assert after == b.address_space.page_table.walk(vb.start).pfn
+
+    def test_stable_frames_from_top_of_memory(self):
+        kernel, wpf = make_wpf_setup()
+        pair_setup(kernel, count=6)
+        run_pass(kernel)
+        frames = sorted(wpf._nodes_by_pfn)
+        assert frames, "nodes must exist"
+        # All node frames live in the topmost region of memory.
+        assert min(frames) >= kernel.spec.total_frames - 64
+
+    def test_allocation_order_follows_hash_order(self):
+        """Stable frames are handed out in content-hash order from the
+        top of memory — the attacker-predictable layout of Fig. 3."""
+        from repro.mem.content import content_digest
+
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=6, tag="order")
+        run_pass(kernel)
+        contents = [dup("order", index) for index in range(6)]
+        by_hash = sorted(contents, key=content_digest)
+        frames_in_hash_order = []
+        for content in by_hash:
+            walk = a.address_space.page_table.walk(
+                va.start + contents.index(content) * 4096
+            )
+            frames_in_hash_order.append(walk.pfn)
+        assert frames_in_hash_order == sorted(
+            frames_in_hash_order, reverse=True
+        ), "hash rank k gets the k-th frame from the top"
+
+    def test_merge_with_existing_node_next_pass(self):
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=1)
+        run_pass(kernel)
+        c = kernel.create_process("c")
+        vc = c.mmap(1, mergeable=True)
+        c.write_page(vc, 0, dup("w", 0))
+        run_pass(kernel)
+        shared, sharing = wpf.sharing_pairs()
+        assert (shared, sharing) == (1, 3)
+
+    def test_single_copies_not_merged(self):
+        kernel, wpf = make_wpf_setup()
+        a = kernel.create_process("a")
+        va = a.mmap(4, mergeable=True)
+        for index in range(4):
+            a.write_page(va, index, dup("solo", index))
+        run_pass(kernel)
+        assert wpf.saved_frames() == 0
+
+
+class TestWpfUnmergeAndReuse:
+    def test_write_unmerges(self):
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=1)
+        run_pass(kernel)
+        result = a.write_page(va, 0, b"priv")
+        assert "unmerge_cow" in result.fault_kinds
+        assert b.read_page(vb, 0) == dup("w", 0)
+
+    def test_node_released_when_last_mapper_leaves(self):
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=1)
+        run_pass(kernel)
+        node_pfn = a.address_space.page_table.walk(va.start).pfn
+        a.write_page(va, 0, b"pa")
+        b.write_page(vb, 0, b"pb")
+        assert kernel.buddy.is_free(node_pfn)
+        assert wpf.stats.stable_nodes_released == 1
+
+    def test_cross_pass_frame_reuse(self):
+        """After full unmerge, the next pass reuses the same top-of-
+        memory frames — the reuse predictability of Fig. 3."""
+        kernel, wpf = make_wpf_setup()
+        a, b, va, vb = pair_setup(kernel, count=6, tag="reuse1")
+        run_pass(kernel)
+        first_pass_frames = set(wpf._nodes_by_pfn)
+        # Unmerge everything (writes new, again pairwise-duplicate data).
+        for index in range(6):
+            a.write_page(va, index, dup("reuse2", index))
+            b.write_page(vb, index, dup("reuse2", index))
+        assert not wpf._nodes_by_pfn, "all nodes released"
+        run_pass(kernel)
+        second_pass_frames = set(wpf._nodes_by_pfn)
+        overlap = len(first_pass_frames & second_pass_frames)
+        assert overlap == len(first_pass_frames), "near-perfect reuse"
+
+    def test_zero_pages_merge_to_one_node(self):
+        kernel, wpf = make_wpf_setup()
+        a = kernel.create_process("a")
+        va = a.mmap(6, mergeable=True)
+        for index in range(6):
+            a.write_page(va, index, b"tmp")
+            a.write_page(va, index, b"")  # back to zero content
+        run_pass(kernel)
+        shared, sharing = wpf.sharing_pairs()
+        assert shared == 1
+        assert sharing == 6
