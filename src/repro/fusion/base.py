@@ -177,6 +177,12 @@ class FusionEngine(ABC):
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def incremental_stats(self) -> dict[str, int]:
+        """Counters of the engine's incremental scan cache, if it has
+        one (kept out of :class:`FusionStats` so enabling/disabling
+        the fingerprint cache cannot change the metrics tests see)."""
+        return {}
+
     @abstractmethod
     def saved_frames(self) -> int:
         """Frames currently saved by fusion (sharers minus copies kept)."""

@@ -3,7 +3,9 @@
 The paper modifies KSM to unmerge on *any* access (copy-on-access) in
 order to measure how much fusion rate the S⊕F principle costs.  Here
 that is simply KSM with read protection switched on — kept as its own
-class so experiments and docs can name it.
+class so experiments and docs can name it.  It inherits KSM's
+incremental scan cache unchanged: the reserved bit rides on the same
+PTEs, so the same replay gates apply.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 from repro.errors import OutOfMemoryError
 from repro.fusion.avl import AvlTree
 from repro.fusion.base import FusionEngine
+from repro.fusion.incremental import IncrementalPassCache
 from repro.mem.content import PageContent, content_digest
 from repro.mem.physmem import FrameType
 from repro.mmu.pte import PteFlags
@@ -95,6 +96,7 @@ class WindowsPageFusion(FusionEngine):
         self._trees: list[AvlTree[WpfNode]] = []
         self._nodes_by_pfn: dict[int, WpfNode] = {}
         self._allocator: LinearHighAllocator | None = None
+        self._pass_cache: IncrementalPassCache | None = None
 
     def _register(self, kernel: "Kernel") -> None:
         def charge() -> None:
@@ -102,6 +104,7 @@ class WindowsPageFusion(FusionEngine):
 
         self._trees = [AvlTree(on_compare=charge) for _ in range(self.num_trees)]
         self._allocator = LinearHighAllocator(kernel)
+        self._pass_cache = IncrementalPassCache(kernel, self.name)
         kernel.register_daemon("wpf", self.config.pass_interval, self.full_pass)
 
     def _tree_for(self, content: PageContent) -> AvlTree[WpfNode]:
@@ -114,22 +117,38 @@ class WindowsPageFusion(FusionEngine):
         kernel = self.kernel
         self.stats.scans += 1
         self.stats.full_scans += 1
-        candidates = self._gather_candidates()
-        self.stats.pages_scanned += sum(len(v) for v in candidates.values())
-        self._create_nodes(candidates)
-        self._merge_candidates(candidates)
+        replay = self._pass_cache.try_replay()
+        if replay is not None:
+            # Nothing observable changed since the last (no-op) pass:
+            # the identical work is replayed as one clock charge.
+            charge, pages = replay
+            if charge:
+                kernel.clock.advance(charge)
+            self.stats.pages_scanned += pages
+            return
+        rec = self._pass_cache.begin_record()
+        candidates, digests = self._gather_candidates()
+        pages = sum(len(v) for v in candidates.values())
+        self.stats.pages_scanned += pages
+        self._create_nodes(candidates, digests)
+        self._merge_candidates(candidates, digests)
+        self._pass_cache.commit(rec, pages)
 
     def _gather_candidates(
         self,
-    ) -> dict[PageContent, list[tuple["Process", int, int]]]:
+    ) -> tuple[
+        dict[PageContent, list[tuple["Process", int, int]]], dict[PageContent, int]
+    ]:
         """Hash every candidate page, grouped by content.
 
         WPF computes the hash of every physical page that is a merge
         candidate; sorting-by-hash is applied later when the new stable
-        frames are allocated.
+        frames are allocated.  The returned ``digests`` map serves the
+        per-content hash from the frame fingerprint cache.
         """
         kernel = self.kernel
         candidates: dict[PageContent, list[tuple["Process", int, int]]] = {}
+        digests: dict[PageContent, int] = {}
         for process in sorted(kernel.processes, key=lambda p: p.pid):
             if not process.alive:
                 continue
@@ -141,20 +160,29 @@ class WindowsPageFusion(FusionEngine):
                     pfn = walk.frame_for(vaddr)
                     kernel.clock.advance(kernel.costs.checksum_page)
                     content = kernel.physmem.read(pfn)
-                    candidates.setdefault(content, []).append((process, vaddr, pfn))
-        return candidates
+                    holders = candidates.get(content)
+                    if holders is None:
+                        candidates[content] = [(process, vaddr, pfn)]
+                        digests[content] = kernel.physmem.digest(pfn)
+                    else:
+                        holders.append((process, vaddr, pfn))
+        return candidates, digests
 
     def _create_nodes(
-        self, candidates: dict[PageContent, list[tuple["Process", int, int]]]
+        self,
+        candidates: dict[PageContent, list[tuple["Process", int, int]]],
+        digests: dict[PageContent, int],
     ) -> None:
         """Allocate new stable frames for duplicated contents, hash order."""
         kernel = self.kernel
+        trees = self._trees
         new_contents = [
             content
             for content, holders in candidates.items()
-            if len(holders) >= 2 and self._tree_for(content).search(content) is None
+            if len(holders) >= 2
+            and trees[digests[content] % self.num_trees].search(content) is None
         ]
-        new_contents.sort(key=content_digest)
+        new_contents.sort(key=digests.__getitem__)
         try:
             frames = self._allocator.alloc_batch(len(new_contents))
         except OutOfMemoryError:
@@ -165,26 +193,33 @@ class WindowsPageFusion(FusionEngine):
             node = WpfNode(pfn, content)
             kernel.physmem.pin_fused(pfn)
             kernel.physmem.get_ref(pfn)
-            self._tree_for(content).insert(content, node)
+            trees[digests[content] % self.num_trees].insert(content, node)
             self._nodes_by_pfn[pfn] = node
             self.stats.stable_nodes_created += 1
             self.stats.merge_frame_log.append(pfn)
 
     def _merge_candidates(
-        self, candidates: dict[PageContent, list[tuple["Process", int, int]]]
+        self,
+        candidates: dict[PageContent, list[tuple["Process", int, int]]],
+        digests: dict[PageContent, int],
     ) -> None:
         """Remap candidates onto stable frames, per process, by vaddr."""
         kernel = self.kernel
-        per_process: dict[int, list[tuple[int, PageContent]]] = {}
+        per_process: dict[int, list[tuple[int, PageContent, int]]] = {}
         for content, holders in candidates.items():
+            digest = digests[content]
             for process, vaddr, _pfn in holders:
-                per_process.setdefault(process.pid, []).append((vaddr, content))
+                per_process.setdefault(process.pid, []).append(
+                    (vaddr, content, digest)
+                )
         for pid in sorted(per_process):
             process = kernel.find_process(pid)
             if process is None or not process.alive:
                 continue
-            for vaddr, content in sorted(per_process[pid]):
-                node = self._tree_for(content).search(content)
+            # Each vaddr appears once, so the extra tuple fields cannot
+            # perturb the original (vaddr, content) sort order.
+            for vaddr, content, digest in sorted(per_process[pid]):
+                node = self._trees[digest % self.num_trees].search(content)
                 if node is None:
                     continue
                 walk = process.address_space.page_table.walk(vaddr)
@@ -259,6 +294,9 @@ class WindowsPageFusion(FusionEngine):
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def incremental_stats(self) -> dict[str, int]:
+        return self._pass_cache.stats_dict() if self._pass_cache is not None else {}
+
     def sharing_pairs(self) -> tuple[int, int]:
         pages_shared = len(self._nodes_by_pfn)
         pages_sharing = sum(

@@ -60,7 +60,9 @@ class Kernel:
         self.spec = spec or MachineSpec()
         self.costs = self.spec.costs
         self.clock = Clock()
-        self.physmem = PhysicalMemory(self.spec.total_frames)
+        self.physmem = PhysicalMemory(
+            self.spec.total_frames, fingerprint_enabled=self.spec.fingerprint_enabled
+        )
         self.buddy = BuddyAllocator(RESERVED_FRAMES, self.spec.total_frames - RESERVED_FRAMES)
         self.llc = LastLevelCache(self.spec.cache)
         self.dram = DramMapper(self.spec.dram, self.spec.total_frames)
@@ -138,6 +140,35 @@ class Kernel:
         """Emit a structured tracepoint (no-op unless tracing is on)."""
         if self.tracepoints.active:
             self.tracepoints.emit(self.clock.now, name, **fields)
+
+    def emit_fingerprint_stats(self) -> None:
+        """Emit one ``fingerprint:stats`` tracepoint with cache counters.
+
+        Opt-in rather than automatic: the fingerprint cache must not
+        change the trace stream by itself, or turning it on/off would
+        break trace-level determinism.
+        """
+        fields: dict[str, int] = {"enabled": int(self.physmem.fingerprints.enabled)}
+        fields.update(self.physmem.fingerprints.stats.as_dict())
+        if self.fusion is not None:
+            for key, value in self.fusion.incremental_stats().items():
+                fields[f"scan_{key}"] = value
+        self.emit("fingerprint:stats", **fields)
+
+    def scan_topology_token(self) -> tuple[int, int, int]:
+        """Cheap token covering everything a scan's page walks depend on.
+
+        Changes whenever a process appears/disappears, any page table's
+        structure changes, or any VMA layout/mergeable flag changes.
+        Scan caches compare tokens to prove recorded walk outcomes are
+        still valid without re-walking.
+        """
+        pt_version = 0
+        as_epoch = 0
+        for process in self._processes.values():
+            pt_version += process.address_space.page_table.version
+            as_epoch += process.address_space.epoch
+        return (len(self._processes), pt_version, as_epoch)
 
     # ------------------------------------------------------------------
     # Frame management

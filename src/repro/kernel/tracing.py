@@ -76,5 +76,14 @@ class Tracepoints:
             return list(self._buffer)
         return [event for event in self._buffer if event.name == name]
 
+    def latest(self, name: str) -> TraceEvent | None:
+        """Most recent recorded event named ``name``, if any."""
+        if self._buffer is None:
+            return None
+        for event in reversed(self._buffer):
+            if event.name == name:
+                return event
+        return None
+
     def counts(self) -> dict[str, int]:
         return dict(self.emitted)

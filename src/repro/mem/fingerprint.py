@@ -1,0 +1,160 @@
+"""Incremental content fingerprints for physical frames.
+
+Every fusion engine repeatedly hashes page contents: KSM checksums each
+candidate on each pass, WPF re-sorts its candidate list by digest.  At
+simulation scale that blake2b work is the hottest loop in the whole
+system.  This module caches one 64-bit digest per frame and invalidates
+it through a write barrier in :class:`~repro.mem.physmem.PhysicalMemory`
+— including Rowhammer's ``corrupt_bit``, which bypasses permissions but
+**not** the cache (a stale digest would make a corrupted frame merge as
+if it still held its old contents, silently breaking the attacks the
+simulator exists to reproduce).
+
+Two things must never change when the cache is enabled:
+
+* **Simulated time.**  Engines keep charging ``costs.checksum_page``
+  (and every other cost) exactly as before; the cache only removes the
+  *Python* work of recomputing the hash.  Fig. 5/6 latency
+  distributions are byte-identical with the cache on or off.
+* **Behaviour.**  ``digest(pfn)`` always equals
+  ``content_digest(read(pfn))``; the differential hypothesis suite
+  (``tests/test_fingerprint_differential.py``) checks this under random
+  interleavings of writes, bit flips, merges and unmerges.
+
+On top of the digest cache sit two cheap change detectors engines use
+to skip *re-examining* unchanged pages:
+
+* a per-frame **generation counter** bumped on every mutation (unlike
+  :meth:`PhysicalMemory.version`, which deliberately ignores
+  ``corrupt_bit`` to model one-way Rowhammer charge leakage), plus a
+  global ``mutation_epoch``;
+* **dirty-frame views**: consumers register a view and periodically
+  drain the set of frames mutated since their last drain, giving the
+  batch "only re-examine frames whose generation advanced" pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.content import PageContent, content_digest
+
+
+@dataclass
+class FingerprintStats:
+    """Counters for the per-frame digest cache."""
+
+    #: ``digest()`` answered from the cache.
+    digest_hits: int = 0
+    #: ``digest()`` had to run blake2b (also counted when disabled).
+    digest_misses: int = 0
+    #: A cached digest was dropped by the write barrier.
+    invalidations: int = 0
+    #: Total frame mutations seen (writes, copies, bit corruptions).
+    mutations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "digest_hits": self.digest_hits,
+            "digest_misses": self.digest_misses,
+            "invalidations": self.invalidations,
+            "mutations": self.mutations,
+        }
+
+
+class DirtyFrameView:
+    """One consumer's view of the frames mutated since its last drain."""
+
+    __slots__ = ("name", "_dirty")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._dirty: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def note(self, pfn: int) -> None:
+        self._dirty.add(pfn)
+
+    def peek(self) -> frozenset[int]:
+        """Return the pending dirty set without clearing it."""
+        return frozenset(self._dirty)
+
+    def drain(self) -> frozenset[int]:
+        """Return and clear the frames mutated since the last drain."""
+        if not self._dirty:
+            return frozenset()
+        dirty = frozenset(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+
+class FingerprintCache:
+    """Per-frame 64-bit digests with generation-based invalidation.
+
+    Owned by :class:`~repro.mem.physmem.PhysicalMemory`; all mutation
+    paths funnel through :meth:`note_mutation`.  Generations, the
+    mutation epoch and dirty views are maintained even when caching is
+    disabled — they are behaviour-neutral bookkeeping — so the
+    ``fingerprint_enabled`` flag toggles only whether blake2b results
+    are remembered.
+    """
+
+    def __init__(self, num_frames: int, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.stats = FingerprintStats()
+        #: Bumped once per mutation of any frame.
+        self.mutation_epoch = 0
+        self._generations: list[int] = [0] * num_frames
+        self._digests: dict[int, int] = {}
+        self._views: list[DirtyFrameView] = []
+
+    # ------------------------------------------------------------------
+    # Write barrier
+    # ------------------------------------------------------------------
+    def note_mutation(self, pfn: int) -> None:
+        """Record that frame ``pfn``'s content changed (any cause)."""
+        self._generations[pfn] += 1
+        self.mutation_epoch += 1
+        self.stats.mutations += 1
+        if self._digests.pop(pfn, None) is not None:
+            self.stats.invalidations += 1
+        for view in self._views:
+            view.note(pfn)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def generation(self, pfn: int) -> int:
+        return self._generations[pfn]
+
+    def digest(self, pfn: int, content: PageContent) -> int:
+        """64-bit digest of ``content`` (the current content of ``pfn``)."""
+        if not self.enabled:
+            self.stats.digest_misses += 1
+            return content_digest(content)
+        cached = self._digests.get(pfn)
+        if cached is not None:
+            self.stats.digest_hits += 1
+            return cached
+        value = content_digest(content)
+        self._digests[pfn] = value
+        self.stats.digest_misses += 1
+        return value
+
+    def peek(self, pfn: int) -> int | None:
+        """Return the cached digest of ``pfn`` without computing one."""
+        return self._digests.get(pfn)
+
+    def cached_frames(self) -> frozenset[int]:
+        return frozenset(self._digests)
+
+    # ------------------------------------------------------------------
+    # Dirty views
+    # ------------------------------------------------------------------
+    def register_view(self, name: str) -> DirtyFrameView:
+        """Register a new dirty-frame view (initially empty)."""
+        view = DirtyFrameView(name)
+        self._views.append(view)
+        return view

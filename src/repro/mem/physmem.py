@@ -15,6 +15,7 @@ from typing import Iterator
 
 from repro.errors import InvalidFrameError
 from repro.mem.content import PageContent, ZERO_PAGE
+from repro.mem.fingerprint import DirtyFrameView, FingerprintCache
 from repro.params import PAGE_SIZE
 
 
@@ -43,7 +44,7 @@ class PhysicalMemory:
     rmap-based unmapping walk.
     """
 
-    def __init__(self, num_frames: int) -> None:
+    def __init__(self, num_frames: int, fingerprint_enabled: bool = True) -> None:
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
         self.num_frames = num_frames
@@ -57,6 +58,9 @@ class PhysicalMemory:
         self._versions: list[int] = [0] * num_frames
         #: Frames pinned by a fusion engine's stable tree (KSM-style).
         self._fusion_pinned: set[int] = set()
+        #: Incremental content fingerprints; every mutation path below
+        #: — including :meth:`corrupt_bit` — invalidates through it.
+        self.fingerprints = FingerprintCache(num_frames, enabled=fingerprint_enabled)
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -80,6 +84,7 @@ class PhysicalMemory:
             raise InvalidFrameError("content larger than a page")
         self._contents[pfn] = content
         self._versions[pfn] += 1
+        self.fingerprints.note_mutation(pfn)
 
     def copy(self, src: int, dst: int) -> None:
         """Copy the full page content of ``src`` into ``dst``."""
@@ -87,6 +92,7 @@ class PhysicalMemory:
         self.check_pfn(dst)
         self._contents[dst] = self._contents[src]
         self._versions[dst] += 1
+        self.fingerprints.note_mutation(dst)
 
     def corrupt_bit(self, pfn: int, byte_offset: int, bit: int) -> None:
         """Flip one bit of frame ``pfn`` in place (Rowhammer).
@@ -98,6 +104,10 @@ class PhysicalMemory:
 
         self.check_pfn(pfn)
         self._contents[pfn] = flip_bit(self._contents[pfn], byte_offset, bit)
+        # Rowhammer bypasses permissions and copy-on-write, but not the
+        # fingerprint cache: a flipped frame must never keep its stale
+        # digest (``_versions`` stays untouched on purpose — see below).
+        self.fingerprints.note_mutation(pfn)
 
     def version(self, pfn: int) -> int:
         """Recharge epoch of frame ``pfn``.
@@ -108,6 +118,37 @@ class PhysicalMemory:
         """
         self.check_pfn(pfn)
         return self._versions[pfn]
+
+    # ------------------------------------------------------------------
+    # Content fingerprints
+    # ------------------------------------------------------------------
+    def digest(self, pfn: int) -> int:
+        """64-bit content digest of ``pfn``, cached until invalidated.
+
+        Always equals ``content_digest(read(pfn))``; with fingerprints
+        disabled the hash is simply recomputed on every call.
+        """
+        self.check_pfn(pfn)
+        return self.fingerprints.digest(pfn, self._contents[pfn])
+
+    def generation(self, pfn: int) -> int:
+        """Mutation generation of ``pfn``.
+
+        Unlike :meth:`version`, this is bumped by **every** mutation
+        including :meth:`corrupt_bit` — engines use it to prove "page
+        unchanged since last pass", and a Rowhammer flip is a change.
+        """
+        self.check_pfn(pfn)
+        return self.fingerprints.generation(pfn)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Global counter of frame mutations (any frame, any cause)."""
+        return self.fingerprints.mutation_epoch
+
+    def register_dirty_view(self, name: str) -> DirtyFrameView:
+        """Register a drainable view of frames mutated from now on."""
+        return self.fingerprints.register_view(name)
 
     # ------------------------------------------------------------------
     # Reference counting

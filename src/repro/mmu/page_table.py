@@ -66,6 +66,11 @@ class PageTable:
 
     def __init__(self) -> None:
         self._root: dict[int, dict] = {}
+        #: Structure version: bumped by every mapping change (map,
+        #: unmap, split, collapse).  Scan caches use it to prove a
+        #: translation result is still current without re-walking.
+        #: In-place PTE *flag* edits do not bump it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Mapping
@@ -85,6 +90,7 @@ class PageTable:
             raise MappingError(f"page already mapped at {vaddr:#x}")
         pte = PageTableEntry(pfn, flags | PteFlags.PRESENT)
         pt[l1] = pte
+        self.version += 1
         return pte
 
     def map_huge(self, vaddr: int, pfn: int, flags: PteFlags) -> PageTableEntry:
@@ -100,6 +106,7 @@ class PageTable:
             raise MappingError(f"address {vaddr:#x} already mapped")
         pte = PageTableEntry(pfn, flags | PteFlags.PRESENT | PteFlags.HUGE)
         pd[l2] = pte
+        self.version += 1
         return pte
 
     def unmap(self, vaddr: int) -> PageTableEntry:
@@ -111,11 +118,13 @@ class PageTable:
         entry = pd.get(l2)
         if isinstance(entry, PageTableEntry):
             del pd[l2]
+            self.version += 1
             return entry
         if isinstance(entry, dict) and l1 in entry:
             pte = entry.pop(l1)
             if not entry:
                 del pd[l2]
+            self.version += 1
             return pte
         raise MappingError(f"no mapping at {vaddr:#x}")
 
@@ -163,6 +172,7 @@ class PageTable:
             raise MappingError(f"no huge page at {vaddr:#x}")
         new_ptes = [pte_factory(i, entry) for i in range(PAGES_PER_HUGE_PAGE)]
         pd[l2] = {i: pte for i, pte in enumerate(new_ptes)}
+        self.version += 1
         return new_ptes
 
     def collapse_to_huge(self, vaddr: int, pfn: int, flags: PteFlags) -> PageTableEntry:
@@ -180,6 +190,7 @@ class PageTable:
             )
         pte = PageTableEntry(pfn, flags | PteFlags.PRESENT | PteFlags.HUGE)
         pd[l2] = pte
+        self.version += 1
         return pte
 
     def pt_entries(self, vaddr: int) -> dict[int, PageTableEntry] | None:

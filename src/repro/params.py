@@ -218,6 +218,10 @@ class MachineSpec:
     dram: DramGeometry = field(default_factory=DramGeometry)
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 1017
+    #: Cache per-frame content digests and replay unchanged scan work.
+    #: Pure Python-level optimisation: simulated time and behaviour are
+    #: identical either way (tests/test_fingerprint_determinism.py).
+    fingerprint_enabled: bool = True
 
     @property
     def total_bytes(self) -> int:

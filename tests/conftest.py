@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.kernel.kernel import Kernel
 from repro.mem.content import tagged_content
 from repro.params import FusionConfig, MachineSpec, MS
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None, max_examples=25)
+    settings.register_profile("thorough", deadline=None, max_examples=300)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis suites just skip
+    pass
 
 
 def small_spec(frames: int = 4096, seed: int = 1017) -> MachineSpec:

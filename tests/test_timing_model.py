@@ -4,14 +4,23 @@ from __future__ import annotations
 
 from repro.cache.llc import LastLevelCache
 from repro.cache.timing import AccessTimer
+from repro.core.vusion import Vusion
 from repro.dram.geometry import DramMapper
+from repro.fusion.ksm import Ksm
+from repro.fusion.wpf import WindowsPageFusion
+from repro.kernel.kernel import Kernel
+from repro.mem.content import tagged_content
 from repro.params import (
     CacheGeometry,
     CostModel,
     DramGeometry,
+    FusionConfig,
     MachineSpec,
+    MS,
     PAGE_SIZE,
     TlbGeometry,
+    VusionConfig,
+    WpfConfig,
 )
 
 
@@ -104,3 +113,98 @@ class TestGeometryParams:
             costs.tlb_hit + 4 * costs.page_walk_per_level
             + costs.llc_hit + costs.dram_row_miss
         )
+
+
+class TestFingerprintChargeNeutrality:
+    """The fingerprint/replay layer must never move the simulated clock.
+
+    Two kernels run the identical workload in lockstep, one with the
+    cache on and one with it off; after *every* step their clocks must
+    agree exactly — not just at the end, where compensating errors
+    could hide.  The cache-on run must also demonstrably replay (else
+    this test would vacuously compare two identical slow paths).
+    """
+
+    ENGINES = {
+        "ksm": (
+            lambda: Ksm(FusionConfig(pages_per_scan=64, scan_interval=20 * MS)),
+            "replayed_charged",
+        ),
+        "wpf": (
+            lambda: WindowsPageFusion(WpfConfig(pass_interval=60 * MS)),
+            "replayed_passes",
+        ),
+        "vusion": (
+            lambda: Vusion(
+                VusionConfig(
+                    random_pool_frames=128,
+                    min_idle_ns=50 * MS,
+                    rerandomize_each_scan=False,
+                ),
+                FusionConfig(pages_per_scan=64, scan_interval=20 * MS),
+            ),
+            "replayed_pure",
+        ),
+    }
+
+    def _lockstep(self, engine_name):
+        factory, replay_counter = self.ENGINES[engine_name]
+        kernels = []
+        for enabled in (True, False):
+            spec = MachineSpec(
+                total_frames=2048, seed=1017, fingerprint_enabled=enabled
+            )
+            kernel = Kernel(spec)
+            kernel.attach_fusion(factory())
+            kernels.append(kernel)
+        on, off = kernels
+
+        def step(fn):
+            fn(on)
+            fn(off)
+            assert on.clock.now == off.clock.now, (
+                f"clock diverged under {engine_name}: "
+                f"on={on.clock.now} off={off.clock.now}"
+            )
+
+        procs = {}
+        for kernel in kernels:
+            procs[kernel] = [kernel.create_process(f"p{i}") for i in range(2)]
+        vmas = {k: [p.mmap(10, mergeable=True) for p in procs[k]] for k in kernels}
+
+        for proc_index in range(2):
+            for index in range(10):
+                step(
+                    lambda k, p=proc_index, i=index: procs[k][p].write(
+                        vmas[k][p].start + i * PAGE_SIZE,
+                        tagged_content("lockstep", i % 3),
+                    )
+                )
+        # Many short idles: per-tick clock trajectory, including the
+        # rounds where replay kicks in on the cache-on side.
+        for _ in range(60):
+            step(lambda k: k.idle(20 * MS))
+        # Disturb one page, then settle again (taint and re-converge).
+        step(
+            lambda k: procs[k][0].write(
+                vmas[k][0].start, tagged_content("lockstep-dirty", 99)
+            )
+        )
+        for _ in range(30):
+            step(lambda k: k.idle(20 * MS))
+
+        replays = on.fusion.incremental_stats().get(replay_counter, 0)
+        assert replays > 0, (
+            f"{engine_name} never replayed ({replay_counter}=0); "
+            "the charge-neutrality comparison is vacuous"
+        )
+        assert off.fusion.incremental_stats().get(replay_counter, 0) == 0
+
+    def test_ksm_lockstep(self):
+        self._lockstep("ksm")
+
+    def test_wpf_lockstep(self):
+        self._lockstep("wpf")
+
+    def test_vusion_lockstep(self):
+        self._lockstep("vusion")
