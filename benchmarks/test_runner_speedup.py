@@ -1,0 +1,69 @@
+"""Wall-clock speedup gate for the parallel experiment runner.
+
+Eight tasks of ~0.4 s each through ``run_tasks``: serial in-process
+versus a 4-worker pool.  The tasks sleep rather than burn CPU so the
+gate measures the *pool's* concurrency (scheduling, process churn,
+supervision overhead) independently of how many cores the host has —
+a 4-deep pool must finish the batch at least 2× faster than serial,
+the acceptance bar for sweeps on a 4-core runner.
+
+Payload equality between the two runs is asserted too: speed must not
+come at the cost of the determinism contract.
+
+Results land in ``BENCH_runner_speedup.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.runner import RunnerConfig, TaskSpec, canonical_json, run_tasks
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_runner_speedup.json"
+)
+
+TASK_COUNT = 8
+TASK_SECONDS = 0.4
+
+
+def _batch() -> list[TaskSpec]:
+    return [
+        TaskSpec.selftest(f"speedup-{index}", sleep_s=TASK_SECONDS,
+                          value=index)
+        for index in range(TASK_COUNT)
+    ]
+
+
+def _timed(config: RunnerConfig):
+    started = time.perf_counter()
+    results = run_tasks(_batch(), root_seed=1017, config=config)
+    elapsed = time.perf_counter() - started
+    assert all(result.ok for result in results)
+    return elapsed, [canonical_json(result.payload) for result in results]
+
+
+def test_parallel_speedup_gate():
+    serial_s, serial_payloads = _timed(RunnerConfig(force_serial=True))
+    parallel_s, parallel_payloads = _timed(RunnerConfig(jobs=4))
+    assert parallel_payloads == serial_payloads
+    speedup = serial_s / parallel_s
+    RESULT_PATH.write_text(json.dumps(
+        {
+            "tasks": TASK_COUNT,
+            "task_seconds": TASK_SECONDS,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "jobs": 4,
+            "speedup": round(speedup, 2),
+        },
+        indent=2,
+    ) + "\n")
+    print(f"\nrunner speedup: serial {serial_s:.2f}s, "
+          f"4 workers {parallel_s:.2f}s ({speedup:.1f}x)")
+    assert speedup >= 2.0, (
+        f"parallel runner only {speedup:.2f}x faster than serial "
+        f"({parallel_s:.2f}s vs {serial_s:.2f}s)"
+    )

@@ -51,3 +51,32 @@ def format_series(
         rows.append(row)
     heading = f"{title} [{value_label}]" if title else value_label
     return format_table(headers, rows, title=heading)
+
+
+def format_run_summary(results, title: str = "runner summary") -> str:
+    """Render a sweep's :class:`~repro.runner.pool.TaskResult` list.
+
+    One row per task: execution status, attempts, wall-clock and (for
+    experiments) whether the paper's qualitative checks passed.
+    """
+    rows = []
+    for result in results:
+        if result.checks_pass is None:
+            checks = "-"
+        else:
+            checks = "PASS" if result.checks_pass else "FAIL"
+        rows.append(
+            [
+                result.task_id,
+                result.status,
+                result.attempts,
+                f"{result.duration_s:.1f}s",
+                checks,
+                result.mode,
+            ]
+        )
+    return format_table(
+        ["task", "status", "attempts", "time", "checks", "mode"],
+        rows,
+        title=title,
+    )

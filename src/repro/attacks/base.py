@@ -19,62 +19,17 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.core.vusion import Vusion
-from repro.fusion.base import FusionEngine
-from repro.fusion.cow_ksm import CopyOnAccessKsm
-from repro.fusion.ksm import Ksm
+from repro.fusion.registry import attack_engine_factories
 from repro.fusion.wpf import WindowsPageFusion
-from repro.fusion.zeropage import ZeroPageFusion
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
-from repro.params import (
-    FusionConfig,
-    MachineSpec,
-    MINUTE,
-    MS,
-    SECOND,
-    VusionConfig,
-    WpfConfig,
-)
+from repro.params import MachineSpec, MS, SECOND
 
-
-def _fast_scan() -> FusionConfig:
-    return FusionConfig(pages_per_scan=512, scan_interval=20 * MS)
-
-
-def _fast_vusion() -> VusionConfig:
-    return VusionConfig(random_pool_frames=2048, min_idle_ns=100 * MS)
-
-
-def _ablated_vusion(**overrides) -> Vusion:
-    from dataclasses import replace
-
-    return Vusion(replace(_fast_vusion(), **overrides), _fast_scan())
-
-
-def _memory_combining():
-    from repro.fusion.memory_combining import MemoryCombining
-
-    return MemoryCombining(_fast_scan(), swap_after_ns=200 * MS)
-
-
-ENGINE_FACTORIES: dict[str, Callable[[], FusionEngine | None]] = {
-    "none": lambda: None,
-    "ksm": lambda: Ksm(_fast_scan()),
-    "coa-ksm": lambda: CopyOnAccessKsm(_fast_scan()),
-    "wpf": lambda: WindowsPageFusion(WpfConfig(pass_interval=15 * MINUTE)),
-    "zeropage": lambda: ZeroPageFusion(_fast_scan()),
-    "memory-combining": lambda: _memory_combining(),
-    "vusion": lambda: Vusion(_fast_vusion(), _fast_scan()),
-    # Ablated VUsion variants: each drops one §7.1 design decision and
-    # re-opens a specific attack (see the ablation tests/benchmarks).
-    "vusion-nocd": lambda: _ablated_vusion(cache_disable_enabled=False),
-    "vusion-nodefer": lambda: _ablated_vusion(deferred_free_enabled=False),
-    "vusion-norerand": lambda: _ablated_vusion(rerandomize_each_scan=False),
-    "vusion-naive": lambda: _ablated_vusion(working_set_enabled=False),
-}
+#: Legacy alias — engine construction now lives in
+#: :mod:`repro.fusion.registry`; kept importable for existing callers.
+ENGINE_FACTORIES = attack_engine_factories()
 
 
 @dataclass
@@ -158,6 +113,23 @@ class Attack(ABC):
 
     name = "attack"
     mitigated_by = "SB"
+    #: The published insecure target (Table 1's "vs target" column).
+    default_target = "ksm"
+    #: :class:`AttackEnvironment` keyword defaults this attack needs
+    #: (machine size, THP faults, DRAM vulnerability).  The Table 1
+    #: driver and the CLI both read these — there is no other copy.
+    env_defaults: dict = {}
+    #: Part of the paper's Table 1 matrix (the covert channel is not).
+    in_table1 = True
+
+    @classmethod
+    def make_environment(cls, engine_name: str | None = None,
+                         seed: int = 1017, **overrides) -> AttackEnvironment:
+        """Build this attack's environment against ``engine_name``."""
+        kwargs = dict(cls.env_defaults)
+        kwargs.update(overrides)
+        return AttackEnvironment(engine_name or cls.default_target,
+                                 seed=seed, **kwargs)
 
     def __init__(self, env: AttackEnvironment) -> None:
         self.env = env

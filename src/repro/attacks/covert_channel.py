@@ -28,6 +28,7 @@ class DedupCovertChannel(Attack):
 
     name = "covert-channel"
     mitigated_by = "SB"
+    in_table1 = False
 
     def __init__(self, env, message_bits: int = 16, seed: int = 99) -> None:
         super().__init__(env)

@@ -28,6 +28,7 @@ class FlipFengShuiAttack(Attack):
 
     name = "flip-feng-shui"
     mitigated_by = "RA"
+    env_defaults = {"thp_fault": True, "frames": 32768, "row_vulnerability": 0.3}
 
     #: Aggressor distance (in subpages) for a double-sided pair: two
     #: row-strides of the default DRAM geometry.

@@ -26,6 +26,7 @@ class PageColorAttack(Attack):
 
     name = "page-color"
     mitigated_by = "SB"
+    default_target = "wpf"
 
     def __init__(self, env, pool_pages: int = 4096) -> None:
         super().__init__(env)

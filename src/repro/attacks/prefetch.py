@@ -31,6 +31,7 @@ class PrefetchAttack(Attack):
 
     name = "prefetch-sharing"
     mitigated_by = "SB"
+    env_defaults = {"frames": 32768}
 
     def __init__(self, env, samples: int = 6, thrash_pages: int = 4096) -> None:
         super().__init__(env)

@@ -33,6 +33,8 @@ class ReuseFlipFengShuiAttack(Attack):
 
     name = "reuse-ffs"
     mitigated_by = "RA"
+    default_target = "wpf"
+    env_defaults = {"row_vulnerability": 0.3}
 
     #: Number of pair-wise duplicated contents (= expected fused nodes).
     PAIRS = 64

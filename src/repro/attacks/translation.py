@@ -29,6 +29,7 @@ class TranslationAttack(Attack):
 
     name = "translation"
     mitigated_by = "SB"
+    env_defaults = {"thp_fault": True, "frames": 32768}
 
     #: Subpage that carries the guess content.
     GUESS_INDEX = 9

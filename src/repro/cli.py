@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``list``       — show every reproducible experiment and attack.
-* ``experiment`` — regenerate one table/figure (``--full`` for the
-  larger paper-scale parameters, ``--seed`` for reproducibility).
-* ``attack``     — run one attack against one fusion engine.
-* ``matrix``     — run the full Table 1 attack matrix.
+* ``list``       — show every reproducible experiment, attack, engine.
+* ``run``        — the unified entry point: fan any selection of
+  experiments and attack-matrix cells out across a worker pool
+  (``--jobs N``), with per-task seeds, retries and JSON artifacts.
+* ``experiment`` — thin alias: one table/figure through the runner.
+* ``attack``     — thin alias: one attack vs one engine.
+* ``matrix``     — thin alias: the Table 1 attack matrix.
+* ``report``     — run every experiment and write a combined report.
 """
 
 from __future__ import annotations
@@ -14,22 +17,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.attacks import ALL_ATTACKS, AttackEnvironment
-from repro.attacks.base import ENGINE_FACTORIES
-from repro.harness.experiments import EXPERIMENT_REGISTRY, FULL, QUICK
+from repro.attacks import ALL_ATTACKS
+from repro.fusion.registry import ENGINE_SPECS
+from repro.harness.experiments import EXPERIMENTS, ExperimentResult
 
 ATTACKS_BY_NAME = {attack.name: attack for attack in ALL_ATTACKS}
-
-#: Per-attack environment defaults (mirrors the Table 1 plan).
-ATTACK_ENV_DEFAULTS = {
-    "cow-timing": {},
-    "page-color": {},
-    "page-sharing": {},
-    "prefetch-sharing": {"frames": 32768},
-    "translation": {"thp_fault": True, "frames": 32768},
-    "flip-feng-shui": {"thp_fault": True, "frames": 32768, "row_vulnerability": 0.3},
-    "reuse-ffs": {"row_vulnerability": 0.3},
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,18 +31,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments and attacks")
+    sub.add_parser("list", help="list experiments, attacks and engines")
+
+    run = sub.add_parser(
+        "run",
+        help="run experiments/attack cells through the parallel runner",
+        description="Selectors: experiment names, tag:<tag>, "
+                    "attack:<name>[@<engine>], 'matrix', 'all'.",
+    )
+    run.add_argument("selectors", nargs="*",
+                     help="what to run (see --help for the grammar)")
+    run.add_argument("--all", action="store_true", dest="select_all",
+                     help="every experiment in the registry")
+    run.add_argument("--jobs", "-j", type=int, default=1,
+                     help="worker processes (default 1)")
+    run.add_argument("--out", default="results/run",
+                     help="artifact directory (default results/run)")
+    run.add_argument("--no-artifacts", action="store_true",
+                     help="skip writing JSON artifacts")
+    run.add_argument("--seed", type=int, default=1017,
+                     help="root seed; per-task seeds derive from it")
+    run.add_argument("--full", action="store_true",
+                     help="full scale (slower, closer to the paper)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-task timeout in seconds")
+    run.add_argument("--retries", type=int, default=2,
+                     help="retry budget per task (default 2)")
+    run.add_argument("--serial", action="store_true",
+                     help="force in-process serial execution")
 
     exp = sub.add_parser("experiment", help="regenerate a table or figure")
-    exp.add_argument("name", choices=sorted(EXPERIMENT_REGISTRY))
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument("--full", action="store_true",
                      help="full scale (slower, closer to the paper)")
     exp.add_argument("--seed", type=int, default=1017)
 
     atk = sub.add_parser("attack", help="run one attack against one engine")
     atk.add_argument("name", choices=sorted(ATTACKS_BY_NAME))
-    atk.add_argument("--target", default="ksm",
-                     choices=sorted(ENGINE_FACTORIES))
+    atk.add_argument("--target", default=None,
+                     choices=sorted(ENGINE_SPECS),
+                     help="engine to attack (default: the attack's "
+                          "published insecure target)")
     atk.add_argument("--seed", type=int, default=1017)
 
     matrix = sub.add_parser("matrix", help="run the full Table 1 attack matrix")
@@ -61,64 +82,157 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--full", action="store_true")
     report.add_argument("--seed", type=int, default=1017)
+    report.add_argument("--jobs", "-j", type=int, default=1)
     report.add_argument("--output", default="results/full_report.txt")
     return parser
 
 
 def cmd_list() -> int:
-    print("experiments (repro experiment <name>):")
-    for name in sorted(EXPERIMENT_REGISTRY):
-        print(f"  {name}")
-    print("\nattacks (repro attack <name> --target <engine>):")
+    print("experiments (repro run <name> / repro experiment <name>):")
+    for name in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[name]
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"  {name:22s} {spec.paper_ref}{tags}")
+    print("\nattacks (repro run attack:<name>[@<engine>]):")
     for name in sorted(ATTACKS_BY_NAME):
-        print(f"  {name}")
+        attack = ATTACKS_BY_NAME[name]
+        print(f"  {name:22s} insecure target: {attack.default_target}")
     print("\nengines:")
-    for name in sorted(ENGINE_FACTORIES):
-        print(f"  {name}")
+    for name in sorted(ENGINE_SPECS):
+        print(f"  {name:22s} {ENGINE_SPECS[name].description}")
     return 0
 
 
+def _result_from_payload(payload: dict) -> ExperimentResult:
+    """Rebuild a renderable ExperimentResult from a task payload."""
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        headers=payload["headers"],
+        rows=payload["rows"],
+        series={label: [tuple(point) for point in series]
+                for label, series in payload["series"].items()},
+        checks=payload["checks"],
+        notes=payload["notes"],
+    )
+
+
+def _print_attack_payload(payload: dict) -> None:
+    verdict = "SUCCEEDED" if payload["success"] else "defeated"
+    print(f"{payload['attack']} vs {payload['target']}: {verdict}")
+    for key, value in payload["evidence"].items():
+        if isinstance(value, list) and len(value) > 8:
+            value = f"[{len(value)} samples]"
+        print(f"  {key}: {value}")
+
+
+def cmd_run(args) -> int:
+    from repro.analysis.report import format_run_summary
+    from repro.runner import (
+        ProgressPrinter,
+        RunnerConfig,
+        expand_selectors,
+        run_tasks,
+        write_artifacts,
+    )
+
+    try:
+        tasks = expand_selectors(
+            args.selectors,
+            select_all=args.select_all,
+            scale="full" if args.full else "quick",
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = RunnerConfig(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        force_serial=args.serial,
+    )
+    results = run_tasks(tasks, root_seed=args.seed, config=config,
+                        on_event=ProgressPrinter())
+    print()
+    print(format_run_summary(results))
+    if not args.no_artifacts:
+        manifest = write_artifacts(
+            args.out, results, root_seed=args.seed, jobs=args.jobs,
+            extra_meta={"selectors": list(args.selectors)
+                        + (["all"] if args.select_all else [])},
+        )
+        print(f"\nartifacts written to {manifest.parent}")
+    ok = all(r.ok and r.checks_pass is not False for r in results)
+    return 0 if ok else 1
+
+
+def _run_single(task, seed: int):
+    """Alias path: one task, serial, explicit seed (no derivation)."""
+    from dataclasses import replace as dc_replace
+
+    from repro.runner import RunnerConfig, run_tasks
+
+    task = dc_replace(task, seed=seed)
+    return run_tasks([task], root_seed=seed,
+                     config=RunnerConfig(jobs=1, force_serial=True))[0]
+
+
 def cmd_experiment(name: str, full: bool, seed: int) -> int:
-    scale = FULL if full else QUICK
-    result = EXPERIMENT_REGISTRY[name](scale, seed)
+    from repro.runner import TaskSpec
+
+    task = TaskSpec.experiment(name, scale="full" if full else "quick")
+    outcome = _run_single(task, seed)
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    result = _result_from_payload(outcome.payload)
     print(result.render())
     return 0 if result.all_checks_pass else 1
 
 
-def cmd_attack(name: str, target: str, seed: int) -> int:
-    env_kwargs = dict(ATTACK_ENV_DEFAULTS.get(name, {}))
-    env = AttackEnvironment(target, seed=seed, **env_kwargs)
-    result = ATTACKS_BY_NAME[name](env).run()
-    print(result)
-    for key, value in result.evidence.items():
-        if isinstance(value, list) and len(value) > 8:
-            value = f"[{len(value)} samples]"
-        print(f"  {key}: {value}")
+def cmd_attack(name: str, target: str | None, seed: int) -> int:
+    from repro.runner import TaskSpec
+
+    outcome = _run_single(TaskSpec.attack(name, target=target), seed)
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    _print_attack_payload(outcome.payload)
     return 0
 
 
 def cmd_matrix(seed: int) -> int:
-    result = EXPERIMENT_REGISTRY["table1"](QUICK, seed)
-    print(result.render())
-    return 0 if result.all_checks_pass else 1
+    return cmd_experiment("table1", full=False, seed=seed)
 
 
-def cmd_report(full: bool, seed: int, output: str) -> int:
+def cmd_report(full: bool, seed: int, jobs: int, output: str) -> int:
     """Run the whole evaluation and write one combined report."""
     import pathlib
-    import time
 
-    scale = FULL if full else QUICK
+    from repro.runner import RunnerConfig, TaskSpec, run_tasks
+
+    scale = "full" if full else "quick"
+    tasks = [
+        TaskSpec.experiment(name, scale=scale, seed=seed)
+        for name in EXPERIMENTS
+    ]
+    config = RunnerConfig(jobs=jobs, force_serial=(jobs <= 1))
+    results = run_tasks(tasks, root_seed=seed, config=config)
     sections = []
     all_pass = True
-    for name in EXPERIMENT_REGISTRY:
-        started = time.perf_counter()
-        result = EXPERIMENT_REGISTRY[name](scale, seed)
-        elapsed = time.perf_counter() - started
-        status = "OK" if result.all_checks_pass else "CHECKS FAILED"
-        all_pass = all_pass and result.all_checks_pass
-        print(f"{name:22s} {status:14s} [{elapsed:.1f}s]", flush=True)
-        sections.append(f"### {name} ({status})\n\n{result.render()}")
+    for outcome in results:
+        name = outcome.spec.name
+        if outcome.ok:
+            result = _result_from_payload(outcome.payload)
+            status = "OK" if result.all_checks_pass else "CHECKS FAILED"
+            all_pass = all_pass and result.all_checks_pass
+            body = result.render()
+        else:
+            status = outcome.status.upper()
+            all_pass = False
+            body = outcome.error or outcome.status
+        print(f"{name:22s} {status:14s} [{outcome.duration_s:.1f}s]",
+              flush=True)
+        sections.append(f"### {name} ({status})\n\n{body}")
     path = pathlib.Path(output)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("\n\n\n".join(sections) + "\n")
@@ -130,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
     if args.command == "experiment":
         return cmd_experiment(args.name, args.full, args.seed)
     if args.command == "attack":
@@ -137,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "matrix":
         return cmd_matrix(args.seed)
     if args.command == "report":
-        return cmd_report(args.full, args.seed, args.output)
+        return cmd_report(args.full, args.seed, args.jobs, args.output)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

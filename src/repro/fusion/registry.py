@@ -1,0 +1,138 @@
+"""Single factory for every fusion engine the harness can build.
+
+Historically engine construction lived in two places with drifting
+defaults: ``ENGINE_FACTORIES`` in :mod:`repro.attacks.base` (fast scan
+parameters for the attack harness) and ``build_engine`` in
+:mod:`repro.harness.scenario` (per-:class:`SystemConfig` wiring for the
+experiment drivers).  Both now delegate here: :func:`create_engine`
+accepts a name plus optional configuration objects and returns a ready
+engine (or ``None`` for the no-dedup baseline).
+
+The registry also carries per-engine metadata (:class:`EngineSpec`) so
+the CLI and the experiment runner can enumerate engines uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.vusion import Vusion
+from repro.fusion.base import FusionEngine
+from repro.fusion.cow_ksm import CopyOnAccessKsm
+from repro.fusion.ksm import Ksm
+from repro.fusion.memory_combining import MemoryCombining
+from repro.fusion.wpf import WindowsPageFusion
+from repro.fusion.zeropage import ZeroPageFusion
+from repro.params import FusionConfig, MINUTE, MS, VusionConfig, WpfConfig
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Metadata for one constructible engine."""
+
+    name: str
+    description: str
+    #: Secure against the paper's Table-1 attacks (SB + RA enforced)?
+    secure: bool = False
+    #: Ablated VUsion variant (drops one §7.1 design decision)?
+    ablation: bool = False
+
+
+ENGINE_SPECS: dict[str, EngineSpec] = {
+    spec.name: spec
+    for spec in (
+        EngineSpec("none", "no page fusion (baseline)"),
+        EngineSpec("ksm", "Linux KSM, copy-on-write unmerge"),
+        EngineSpec("coa-ksm", "KSM variant with copy-on-access unmerge"),
+        EngineSpec("wpf", "Windows Page Fusion (periodic full passes)"),
+        EngineSpec("zeropage", "zero pages only"),
+        EngineSpec("memory-combining", "Windows swap-cache deduplication"),
+        EngineSpec("vusion", "VUsion: SB + RA secure fusion", secure=True),
+        EngineSpec("vusion-nocd", "VUsion without the cache-disable bit",
+                   ablation=True),
+        EngineSpec("vusion-nodefer", "VUsion without deferred frame free",
+                   ablation=True),
+        EngineSpec("vusion-norerand", "VUsion without per-scan re-randomization",
+                   ablation=True),
+        EngineSpec("vusion-naive", "VUsion without working-set estimation",
+                   ablation=True),
+    )
+}
+
+#: Ablation name -> VusionConfig field it disables.
+_VUSION_ABLATIONS: dict[str, dict] = {
+    "vusion": {},
+    "vusion-nocd": {"cache_disable_enabled": False},
+    "vusion-nodefer": {"deferred_free_enabled": False},
+    "vusion-norerand": {"rerandomize_each_scan": False},
+    "vusion-naive": {"working_set_enabled": False},
+}
+
+
+def default_fusion_config() -> FusionConfig:
+    """The attack harness's fast scan rate (512 pages / 20 ms)."""
+    return FusionConfig(pages_per_scan=512, scan_interval=20 * MS)
+
+
+def default_vusion_config() -> VusionConfig:
+    """The attack harness's fast VUsion knobs."""
+    return VusionConfig(random_pool_frames=2048, min_idle_ns=100 * MS)
+
+
+def create_engine(
+    name: str,
+    *,
+    fusion_config: FusionConfig | None = None,
+    vusion_config: VusionConfig | None = None,
+    wpf_config: WpfConfig | None = None,
+    swap_after_ns: int | None = None,
+) -> FusionEngine | None:
+    """Build the engine ``name`` (``None`` for the no-dedup baseline).
+
+    Defaults reproduce the attack harness's fast parameters; the
+    scenario driver passes explicit configs derived from its
+    :class:`~repro.harness.scenario.SystemConfig` instead.
+    """
+    if name not in ENGINE_SPECS:
+        raise ValueError(f"unknown engine {name!r}")
+    scan = fusion_config or default_fusion_config()
+    if name == "none":
+        return None
+    if name == "ksm":
+        return Ksm(scan)
+    if name == "coa-ksm":
+        return CopyOnAccessKsm(scan)
+    if name == "zeropage":
+        return ZeroPageFusion(scan)
+    if name == "memory-combining":
+        if swap_after_ns is None:
+            return MemoryCombining(scan)
+        return MemoryCombining(scan, swap_after_ns=swap_after_ns)
+    if name == "wpf":
+        return WindowsPageFusion(wpf_config or WpfConfig(pass_interval=15 * MINUTE))
+    # VUsion proper and its ablated variants.
+    base = vusion_config or default_vusion_config()
+    overrides = _VUSION_ABLATIONS[name]
+    if overrides:
+        base = replace(base, **overrides)
+    return Vusion(base, scan)
+
+
+def engine_names() -> tuple[str, ...]:
+    return tuple(ENGINE_SPECS)
+
+
+def attack_engine_factories() -> dict[str, Callable[[], FusionEngine | None]]:
+    """Name -> zero-arg factory with the attack harness's defaults.
+
+    (The legacy ``ENGINE_FACTORIES`` shape; ``repro.attacks.base`` keeps
+    a module-level alias for backwards compatibility.)
+    """
+
+    def make(engine_name: str) -> Callable[[], FusionEngine | None]:
+        if engine_name == "memory-combining":
+            return lambda: create_engine(engine_name, swap_after_ns=200 * MS)
+        return lambda: create_engine(engine_name)
+
+    return {engine_name: make(engine_name) for engine_name in ENGINE_SPECS}

@@ -10,6 +10,7 @@ asserts the checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.analysis.metrics import fused_page_breakdown
 from repro.analysis.report import format_series, format_table
@@ -128,25 +129,30 @@ def _scaled(config: SystemConfig, scale: Scale) -> SystemConfig:
 # ---------------------------------------------------------------------------
 # Table 1: the attack matrix
 # ---------------------------------------------------------------------------
+#: The paper's Table 1, in row order.  Each attack's insecure target
+#: and environment parameters live on the attack class itself
+#: (``default_target`` / ``env_defaults``) — the CLI reads the same.
+TABLE1_ATTACKS = [
+    CowTimingAttack,
+    PageColorAttack,
+    PageSharingAttack,
+    TranslationAttack,
+    FlipFengShuiAttack,
+    ReuseFlipFengShuiAttack,
+    PrefetchAttack,
+]
+
+
 def run_table1_attack_matrix(seed: int = 1017) -> ExperimentResult:
     """Every attack vs. its published insecure target and vs. VUsion."""
-    plan = [
-        (CowTimingAttack, "ksm", {}),
-        (PageColorAttack, "wpf", {}),
-        (PageSharingAttack, "ksm", {}),
-        (TranslationAttack, "ksm", {"thp_fault": True, "frames": 32768}),
-        (FlipFengShuiAttack, "ksm", {"thp_fault": True, "frames": 32768,
-                                     "row_vulnerability": 0.3}),
-        (ReuseFlipFengShuiAttack, "wpf", {"row_vulnerability": 0.3}),
-        (PrefetchAttack, "ksm", {"frames": 32768}),
-    ]
     result = ExperimentResult(
         "Table 1: attacks vs. page fusion systems",
         headers=["attack", "mitigation", "insecure target", "vs target", "vs VUsion"],
     )
-    for attack_cls, target, env_kwargs in plan:
-        insecure = attack_cls(AttackEnvironment(target, seed=seed, **env_kwargs)).run()
-        secure = attack_cls(AttackEnvironment("vusion", seed=seed, **env_kwargs)).run()
+    for attack_cls in TABLE1_ATTACKS:
+        target = attack_cls.default_target
+        insecure = attack_cls(attack_cls.make_environment(seed=seed)).run()
+        secure = attack_cls(attack_cls.make_environment("vusion", seed=seed)).run()
         result.rows.append(
             [
                 insecure.attack,
@@ -993,27 +999,95 @@ def run_memory_combining(scale: Scale = QUICK, seed: int = 1017) -> ExperimentRe
 
 
 # ---------------------------------------------------------------------------
-# Registry (used by the CLI and the benchmark suite)
+# Registry (consumed by the CLI, the runner and the benchmark suite)
 # ---------------------------------------------------------------------------
-EXPERIMENT_REGISTRY: dict = {
-    "table1": lambda scale, seed: run_table1_attack_matrix(seed=seed),
-    "fig3": lambda scale, seed: run_fig3_wpf_reuse(seed=seed),
-    "fig4": lambda scale, seed: run_fig4_coa_vs_cow(scale, seed=seed),
-    "fig5": lambda scale, seed: run_fig5_ksm_write_timing(seed=seed),
-    "fig6": lambda scale, seed: run_fig6_vusion_read_timing(seed=seed),
-    "ra": lambda scale, seed: run_ra_uniformity(seed=seed),
-    "table2": lambda scale, seed: run_table2_stream(scale, seed=seed),
-    "fig7": lambda scale, seed: run_fig7_spec(scale, seed=seed),
-    "fig8": lambda scale, seed: run_fig8_parsec(scale, seed=seed),
-    "table3": lambda scale, seed: run_table3_page_types(scale, seed=seed),
-    "table4": lambda scale, seed: run_table4_postmark(scale, seed=seed),
-    "table5": lambda scale, seed: run_table5_apache(scale, seed=seed),
-    "table6_7": lambda scale, seed: run_table6_7_keyvalue(scale, seed=seed),
-    "fig9": lambda scale, seed: run_fig9_thp_conservation(scale, seed=seed),
-    "fig10": lambda scale, seed: run_fig10_idle_vms(scale, seed=seed),
-    "fig11": lambda scale, seed: run_fig11_diverse_vms(scale, seed=seed),
-    "fig12": lambda scale, seed: run_fig12_apache_memory(scale, seed=seed),
-    "ablation-security": lambda scale, seed: run_ablation_security(seed=seed),
-    "ablation-performance": lambda scale, seed: run_ablation_performance(scale, seed=seed),
-    "memory-combining": lambda scale, seed: run_memory_combining(scale, seed=seed),
+#: Named scale presets, so picklable task specs can reference sizing by
+#: name instead of carrying a Scale object around.
+SCALES: dict[str, Scale] = {"quick": QUICK, "full": FULL}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible table/figure of the paper's evaluation."""
+
+    name: str
+    runner: Callable[[Scale, int], ExperimentResult]
+    #: Table/figure/section of the paper this reproduces.
+    paper_ref: str
+    #: Key into :data:`SCALES` used when no scale is given explicitly.
+    default_scale: str = "quick"
+    #: Free-form selector tags (``repro run tag:<tag>``).  ``quick``
+    #: marks experiments fast enough for smoke sweeps and CI.
+    tags: tuple[str, ...] = ()
+    #: Does the driver honour the Scale argument?  (Timing/attack
+    #: experiments size themselves.)
+    scalable: bool = True
+
+    def run(self, scale: Scale | None = None, seed: int = 1017) -> ExperimentResult:
+        return self.runner(scale or SCALES[self.default_scale], seed)
+
+
+def _spec(name, runner, paper_ref, tags=(), scalable=True) -> ExperimentSpec:
+    return ExperimentSpec(name=name, runner=runner, paper_ref=paper_ref,
+                          tags=tuple(tags), scalable=scalable)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("table1", lambda scale, seed: run_table1_attack_matrix(seed=seed),
+              "Table 1", tags=("security", "attacks"), scalable=False),
+        _spec("fig3", lambda scale, seed: run_fig3_wpf_reuse(seed=seed),
+              "Fig. 3", tags=("security", "quick"), scalable=False),
+        _spec("fig4", run_fig4_coa_vs_cow, "Fig. 4", tags=("memory",)),
+        _spec("fig5", lambda scale, seed: run_fig5_ksm_write_timing(seed=seed),
+              "Fig. 5", tags=("timing", "quick"), scalable=False),
+        _spec("fig6", lambda scale, seed: run_fig6_vusion_read_timing(seed=seed),
+              "Fig. 6", tags=("timing", "quick"), scalable=False),
+        _spec("ra", lambda scale, seed: run_ra_uniformity(seed=seed),
+              "§9.1", tags=("security", "quick"), scalable=False),
+        _spec("table2", run_table2_stream, "Table 2", tags=("performance",)),
+        _spec("fig7", run_fig7_spec, "Fig. 7", tags=("performance", "suite")),
+        _spec("fig8", run_fig8_parsec, "Fig. 8", tags=("performance", "suite")),
+        _spec("table3", run_table3_page_types, "Table 3", tags=("memory",)),
+        _spec("table4", run_table4_postmark, "Table 4",
+              tags=("performance", "server")),
+        _spec("table5", run_table5_apache, "Table 5",
+              tags=("performance", "server")),
+        _spec("table6_7", run_table6_7_keyvalue, "Tables 6/7",
+              tags=("performance", "server")),
+        _spec("fig9", run_fig9_thp_conservation, "Fig. 9", tags=("thp",)),
+        _spec("fig10", run_fig10_idle_vms, "Fig. 10", tags=("memory",)),
+        _spec("fig11", run_fig11_diverse_vms, "Fig. 11", tags=("memory",)),
+        _spec("fig12", run_fig12_apache_memory, "Fig. 12", tags=("memory",)),
+        _spec("ablation-security",
+              lambda scale, seed: run_ablation_security(seed=seed),
+              "§7.1 ablations", tags=("security", "ablation"), scalable=False),
+        _spec("ablation-performance", run_ablation_performance,
+              "§7.2 ablation", tags=("performance", "ablation")),
+        _spec("memory-combining", run_memory_combining, "§10.1",
+              tags=("memory",)),
+    )
 }
+
+
+class _DeprecatedRegistry(dict):
+    """Legacy ``name -> callable(scale, seed)`` view of the registry."""
+
+    def __getitem__(self, name):
+        import warnings
+
+        warnings.warn(
+            "EXPERIMENT_REGISTRY is deprecated; use "
+            "repro.harness.experiments.EXPERIMENTS (ExperimentSpec registry)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return super().__getitem__(name)
+
+
+#: Deprecated: the pre-runner bare-dict registry.  Iterating it is
+#: warning-free (cheap discovery); indexing warns once per call site.
+EXPERIMENT_REGISTRY: dict = _DeprecatedRegistry(
+    {name: spec.runner for name, spec in EXPERIMENTS.items()}
+)

@@ -16,14 +16,10 @@ absolute numbers — are the reproduction target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.analysis.metrics import MemorySample, take_sample
-from repro.core.vusion import Vusion
-from repro.fusion.cow_ksm import CopyOnAccessKsm
-from repro.fusion.ksm import Ksm
-from repro.fusion.wpf import WindowsPageFusion
-from repro.fusion.zeropage import ZeroPageFusion
+from repro.fusion.registry import create_engine
 from repro.kernel.kernel import Kernel
 from repro.kernel.khugepaged import Khugepaged
 from repro.params import (
@@ -74,35 +70,25 @@ STANDARD_CONFIGS = [NO_DEDUP, KSM_CONFIG, VUSION_CONFIG, VUSION_THP_CONFIG]
 
 
 def build_engine(config: SystemConfig):
-    fusion_config = FusionConfig(
-        pages_per_scan=config.pages_per_scan, scan_interval=config.scan_interval
-    )
+    """Wire the unified :mod:`repro.fusion.registry` factory from a
+    :class:`SystemConfig` (one column of the paper's tables)."""
     if config.engine is None:
         return None
-    if config.engine == "ksm":
-        return Ksm(fusion_config)
-    if config.engine == "coa-ksm":
-        return CopyOnAccessKsm(fusion_config)
-    if config.engine == "zeropage":
-        return ZeroPageFusion(fusion_config)
-    if config.engine == "memory-combining":
-        from repro.fusion.memory_combining import MemoryCombining
-
-        return MemoryCombining(fusion_config)
-    if config.engine == "wpf":
-        return WindowsPageFusion(WpfConfig(pass_interval=config.wpf_interval))
-    if config.engine == "vusion":
-        return Vusion(
-            VusionConfig(
-                random_pool_frames=config.pool_frames,
-                min_idle_ns=config.min_idle_ns,
-                thp_enabled=config.conserve_thp,
-                thp_active_threshold=config.thp_active_threshold,
-                working_set_enabled=config.working_set,
-            ),
-            fusion_config,
-        )
-    raise ValueError(f"unknown engine {config.engine!r}")
+    return create_engine(
+        config.engine,
+        fusion_config=FusionConfig(
+            pages_per_scan=config.pages_per_scan,
+            scan_interval=config.scan_interval,
+        ),
+        vusion_config=VusionConfig(
+            random_pool_frames=config.pool_frames,
+            min_idle_ns=config.min_idle_ns,
+            thp_enabled=config.conserve_thp,
+            thp_active_threshold=config.thp_active_threshold,
+            working_set_enabled=config.working_set,
+        ),
+        wpf_config=WpfConfig(pass_interval=config.wpf_interval),
+    )
 
 
 class Scenario:

@@ -1,0 +1,53 @@
+"""Parallel fault-tolerant experiment runner (``repro.runner``).
+
+The public surface every sweep uses:
+
+* :class:`TaskSpec` — picklable description of one experiment, one
+  attack-vs-engine cell, or a self-test task.
+* :func:`expand_selectors` — CLI selector grammar -> task list.
+* :func:`run_tasks` / :class:`RunnerConfig` — the multiprocessing pool
+  with per-task timeouts, bounded retry and serial degradation.
+* :func:`derive_seed` — deterministic per-task seeding.
+* :func:`write_artifacts` — JSON artifacts under ``results/``.
+* :class:`ProgressPrinter` and the event dataclasses in
+  :mod:`repro.runner.progress`.
+"""
+
+from repro.runner.artifacts import canonical_json, sanitize, write_artifacts
+from repro.runner.pool import RunnerConfig, TaskPool, TaskResult, run_tasks
+from repro.runner.progress import (
+    PoolDegraded,
+    ProgressPrinter,
+    RunCompleted,
+    RunnerEvent,
+    RunStarted,
+    TaskFinished,
+    TaskRetrying,
+    TaskStarted,
+)
+from repro.runner.seeds import derive_seed
+from repro.runner.select import MATRIX_ENGINES, expand_selectors
+from repro.runner.task import TaskSpec, execute_task
+
+__all__ = [
+    "MATRIX_ENGINES",
+    "PoolDegraded",
+    "ProgressPrinter",
+    "RunCompleted",
+    "RunnerConfig",
+    "RunnerEvent",
+    "RunStarted",
+    "TaskFinished",
+    "TaskPool",
+    "TaskResult",
+    "TaskRetrying",
+    "TaskStarted",
+    "TaskSpec",
+    "canonical_json",
+    "derive_seed",
+    "execute_task",
+    "expand_selectors",
+    "run_tasks",
+    "sanitize",
+    "write_artifacts",
+]

@@ -1,0 +1,96 @@
+"""JSON result artifacts for runner sweeps.
+
+Layout under the output directory (``results/run`` by default):
+
+``manifest.json``
+    Run-level metadata: root seed, jobs, per-task status/attempts/
+    durations, and the artifact file each task's result landed in.
+
+``<task>.json``
+    One file per task: the spec, the derived seed and the canonical
+    result payload.  The ``result`` block is a pure function of
+    ``(spec, seed)`` — byte-identical across worker counts, retries
+    and runs — while scheduling metadata lives only in the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+
+def sanitize(value):
+    """Make ``value`` JSON-able without losing information.
+
+    Tuples become lists, bytes become hex strings, non-string mapping
+    keys become their ``repr`` (the key-value experiments use tuples
+    like ``("redis", "KSM")`` as notes keys), NaN/inf floats become
+    strings (canonical JSON forbids them).
+    """
+    if isinstance(value, dict):
+        return {
+            (key if isinstance(key, str) else repr(key)): sanitize(val)
+            for key, val in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_json(value) -> str:
+    """Deterministic serialization (sorted keys, fixed separators)."""
+    return json.dumps(sanitize(value), sort_keys=True, indent=2,
+                      allow_nan=False) + "\n"
+
+
+def task_filename(task_id: str) -> str:
+    """A filesystem-safe, still-readable name for one task's artifact."""
+    return re.sub(r"[^A-Za-z0-9_.@-]", "-", task_id) + ".json"
+
+
+def write_artifacts(out_dir, results, *, root_seed: int, jobs: int,
+                    extra_meta: dict | None = None) -> pathlib.Path:
+    """Write per-task artifacts plus the manifest; returns its path."""
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    manifest_tasks = []
+    for result in results:
+        filename = task_filename(result.task_id)
+        document = {
+            "task_id": result.task_id,
+            "spec": result.spec.describe(),
+            "seed": result.seed,
+            "status": result.status,
+            "error": result.error,
+            "result": result.payload,
+        }
+        (out_path / filename).write_text(canonical_json(document))
+        manifest_tasks.append(
+            {
+                "task_id": result.task_id,
+                "file": filename,
+                "status": result.status,
+                "attempts": result.attempts,
+                "duration_s": round(result.duration_s, 3),
+                "checks_pass": result.checks_pass,
+            }
+        )
+    manifest = {
+        "root_seed": root_seed,
+        "jobs": jobs,
+        "ok": all(r.ok for r in results),
+        "tasks": manifest_tasks,
+    }
+    manifest.update(extra_meta or {})
+    manifest_path = out_path / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest_path

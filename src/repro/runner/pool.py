@@ -1,0 +1,359 @@
+"""Parallel fault-tolerant execution of task specs.
+
+Each task attempt runs in its own worker process (simulations are
+long-lived and CPU-bound, so per-task process overhead is noise), with
+at most ``jobs`` attempts in flight.  The parent supervises:
+
+* **Per-task timeout** — a hung worker is killed and the attempt
+  counts as ``timeout``.
+* **Bounded retry with backoff** — crashed (bad exit code, no reply),
+  timed-out and erroring attempts are requeued up to ``max_retries``
+  times with exponential backoff.
+* **Graceful degradation** — if worker processes cannot be created at
+  all (sandboxed environments, exhausted pids), the remaining tasks
+  run serially in-process and the run still completes.
+
+Determinism: a task's payload is a pure function of ``(spec, seed)``
+and seeds are derived from ``(root_seed, task_id)`` alone, so results
+are byte-identical for any ``jobs`` value and any retry history.
+Results are returned in submission order, never completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.runner.progress import (
+    PoolDegraded,
+    RunCompleted,
+    RunStarted,
+    TaskFinished,
+    TaskRetrying,
+    TaskStarted,
+)
+from repro.runner.seeds import derive_seed
+from repro.runner.task import TaskSpec, execute_task
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution policy for one sweep."""
+
+    jobs: int = 1
+    #: Per-attempt wall-clock budget; ``None`` disables the watchdog.
+    timeout_s: float | None = None
+    #: Failed attempts are retried this many times (attempts = retries+1).
+    max_retries: int = 2
+    #: Base backoff; attempt ``n`` waits ``retry_backoff_s * 2**n``.
+    retry_backoff_s: float = 0.25
+    #: multiprocessing start method; ``None`` prefers fork, then spawn.
+    start_method: str | None = None
+    #: Skip the pool entirely and run in-process (also the degraded mode).
+    force_serial: bool = False
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task after all attempts."""
+
+    spec: TaskSpec
+    seed: int
+    status: str                  #: "ok" | "error" | "timeout" | "crashed"
+    attempts: int
+    duration_s: float
+    payload: dict | None = None
+    error: str | None = None
+    mode: str = "pool"           #: "pool" | "serial"
+
+    @property
+    def task_id(self) -> str:
+        return self.spec.task_id
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def checks_pass(self) -> bool | None:
+        if self.payload is None:
+            return False if not self.ok else None
+        return self.payload.get("checks_pass")
+
+
+def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int) -> None:
+    """Child entry point: run the task, ship the payload back, exit."""
+    try:
+        payload = execute_task(spec, seed, attempt=attempt)
+        conn.send(("ok", payload, None))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", None,
+                       f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Attempt:
+    index: int
+    attempt: int
+    process: object
+    conn: object
+    started: float
+    deadline: float | None
+
+
+@dataclass
+class _Pending:
+    index: int
+    attempt: int
+    ready_at: float
+
+
+class _PoolBroken(Exception):
+    """Raised internally when worker processes cannot be created."""
+
+
+class TaskPool:
+    """Supervisor for one sweep (see module docstring)."""
+
+    def __init__(self, tasks, *, root_seed: int = 1017,
+                 config: RunnerConfig | None = None, on_event=None) -> None:
+        self.tasks: list[TaskSpec] = list(tasks)
+        self.root_seed = root_seed
+        self.config = config or RunnerConfig()
+        self.on_event = on_event or (lambda event: None)
+        self.seeds = [
+            task.seed if task.seed is not None
+            else derive_seed(root_seed, task.task_id)
+            for task in self.tasks
+        ]
+        self._results: list[TaskResult | None] = [None] * len(self.tasks)
+        self._first_started: dict[int, float] = {}
+
+    # -- event helpers --------------------------------------------------
+    def _emit(self, event) -> None:
+        self.on_event(event)
+
+    def _finish(self, index: int, status: str, attempts: int,
+                payload=None, error=None, mode="pool") -> TaskResult:
+        duration = time.monotonic() - self._first_started[index]
+        result = TaskResult(
+            spec=self.tasks[index], seed=self.seeds[index], status=status,
+            attempts=attempts, duration_s=duration, payload=payload,
+            error=error, mode=mode,
+        )
+        self._results[index] = result
+        self._emit(TaskFinished(
+            task_id=result.task_id, index=index, total=len(self.tasks),
+            status=status, attempts=attempts, duration_s=duration,
+            checks_pass=result.checks_pass,
+        ))
+        return result
+
+    def _note_started(self, index: int, attempt: int) -> None:
+        now = time.monotonic()
+        self._first_started.setdefault(index, now)
+        self._emit(TaskStarted(
+            task_id=self.tasks[index].task_id, index=index,
+            total=len(self.tasks), attempt=attempt,
+        ))
+
+    def _backoff(self, attempt: int) -> float:
+        return self.config.retry_backoff_s * (2 ** attempt)
+
+    # -- public API -----------------------------------------------------
+    def run(self) -> list[TaskResult]:
+        started = time.monotonic()
+        self._emit(RunStarted(total=len(self.tasks), jobs=self.config.jobs,
+                              root_seed=self.root_seed))
+        if self.config.force_serial:
+            self._run_serial(range(len(self.tasks)))
+        else:
+            try:
+                self._run_pool()
+            except _PoolBroken as exc:
+                self._emit(PoolDegraded(reason=str(exc)))
+                remaining = [i for i, r in enumerate(self._results)
+                             if r is None]
+                self._run_serial(remaining)
+        results = [result for result in self._results if result is not None]
+        ok = sum(1 for result in results if result.ok)
+        self._emit(RunCompleted(
+            total=len(results), ok=ok, failed=len(results) - ok,
+            duration_s=time.monotonic() - started,
+        ))
+        return results
+
+    # -- pool mode ------------------------------------------------------
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        method = self.config.start_method or (
+            "fork" if "fork" in methods else "spawn"
+        )
+        return multiprocessing.get_context(method)
+
+    def _start_process(self, ctx, index: int, attempt: int) -> _Attempt:
+        """Launch one attempt; raises on pool-level failure."""
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.tasks[index], self.seeds[index], attempt),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = (now + self.config.timeout_s
+                    if self.config.timeout_s is not None else None)
+        return _Attempt(index=index, attempt=attempt, process=process,
+                        conn=parent_conn, started=now, deadline=deadline)
+
+    def _run_pool(self) -> None:
+        try:
+            ctx = self._context()
+        except Exception as exc:  # unknown start method, broken platform
+            raise _PoolBroken(f"no multiprocessing context: {exc}") from exc
+        jobs = max(1, self.config.jobs)
+        pending = [
+            _Pending(index=i, attempt=0, ready_at=0.0)
+            for i in range(len(self.tasks))
+        ]
+        running: list[_Attempt] = []
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Fill free slots with due tasks (submission order).
+                while len(running) < jobs and pending:
+                    due = [p for p in pending if p.ready_at <= now]
+                    if not due:
+                        break
+                    nxt = min(due, key=lambda p: (p.index, p.attempt))
+                    pending.remove(nxt)
+                    self._note_started(nxt.index, nxt.attempt)
+                    try:
+                        running.append(
+                            self._start_process(ctx, nxt.index, nxt.attempt)
+                        )
+                    except Exception as exc:
+                        raise _PoolBroken(
+                            f"cannot start worker: {exc}"
+                        ) from exc
+                progressed = self._reap(running, pending)
+                if not progressed:
+                    time.sleep(0.005)
+        finally:
+            for attempt in running:
+                self._kill(attempt)
+
+    def _reap(self, running: list[_Attempt], pending: list[_Pending]) -> bool:
+        """Collect finished/overdue attempts; True if anything changed."""
+        progressed = False
+        now = time.monotonic()
+        for attempt in list(running):
+            outcome = None
+            detail = ""
+            if attempt.conn.poll():
+                try:
+                    kind, payload, error = attempt.conn.recv()
+                except (EOFError, OSError):
+                    kind, payload, error = ("crashed", None,
+                                            "worker pipe closed mid-reply")
+                attempt.process.join(timeout=5)
+                if kind == "ok":
+                    self._finish(attempt.index, "ok", attempt.attempt + 1,
+                                 payload=payload)
+                    running.remove(attempt)
+                    progressed = True
+                    continue
+                outcome = "error" if kind == "error" else "crashed"
+                detail = error or ""
+            elif not attempt.process.is_alive():
+                outcome = "crashed"
+                detail = f"exit code {attempt.process.exitcode}"
+            elif attempt.deadline is not None and now > attempt.deadline:
+                outcome = "timeout"
+                detail = f"exceeded {self.config.timeout_s}s"
+                self._kill(attempt)
+            if outcome is None:
+                continue
+            running.remove(attempt)
+            progressed = True
+            self._kill(attempt)
+            if attempt.attempt < self.config.max_retries:
+                delay = self._backoff(attempt.attempt)
+                self._emit(TaskRetrying(
+                    task_id=self.tasks[attempt.index].task_id,
+                    attempt=attempt.attempt, reason=outcome,
+                    delay_s=delay, detail=detail,
+                ))
+                pending.append(_Pending(
+                    index=attempt.index, attempt=attempt.attempt + 1,
+                    ready_at=time.monotonic() + delay,
+                ))
+            else:
+                self._finish(attempt.index, outcome, attempt.attempt + 1,
+                             error=detail or outcome)
+        return progressed
+
+    @staticmethod
+    def _kill(attempt: _Attempt) -> None:
+        try:
+            if attempt.process.is_alive():
+                attempt.process.terminate()
+                attempt.process.join(timeout=1)
+                if attempt.process.is_alive():
+                    attempt.process.kill()
+                    attempt.process.join(timeout=1)
+        except Exception:
+            pass
+        try:
+            attempt.conn.close()
+        except Exception:
+            pass
+
+    # -- serial (degraded / forced) mode --------------------------------
+    def _run_serial(self, indices) -> None:
+        """In-process execution: no crash isolation, no timeouts, but
+        the same retry policy and identical payloads."""
+        for index in indices:
+            attempt = 0
+            while True:
+                self._note_started(index, attempt)
+                try:
+                    payload = execute_task(self.tasks[index],
+                                           self.seeds[index], attempt=attempt)
+                except Exception as exc:
+                    detail = f"{type(exc).__name__}: {exc}"
+                    if attempt < self.config.max_retries:
+                        delay = self._backoff(attempt)
+                        self._emit(TaskRetrying(
+                            task_id=self.tasks[index].task_id,
+                            attempt=attempt, reason="error",
+                            delay_s=delay, detail=detail,
+                        ))
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                    self._finish(index, "error", attempt + 1,
+                                 error=detail, mode="serial")
+                    break
+                self._finish(index, "ok", attempt + 1, payload=payload,
+                             mode="serial")
+                break
+
+
+def run_tasks(tasks, *, root_seed: int = 1017,
+              config: RunnerConfig | None = None,
+              on_event=None) -> list[TaskResult]:
+    """Run ``tasks`` under ``config``; results in submission order."""
+    return TaskPool(tasks, root_seed=root_seed, config=config,
+                    on_event=on_event).run()

@@ -1,0 +1,108 @@
+"""Structured progress events emitted by the experiment runner.
+
+The pool never prints; it emits typed events to an ``on_event``
+callback.  The CLI installs :class:`ProgressPrinter`; tests install a
+recording callback and assert on the exact sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunnerEvent:
+    """Base class for all runner events."""
+
+
+@dataclass(frozen=True)
+class RunStarted(RunnerEvent):
+    total: int
+    jobs: int
+    root_seed: int
+
+
+@dataclass(frozen=True)
+class TaskStarted(RunnerEvent):
+    task_id: str
+    index: int
+    total: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class TaskRetrying(RunnerEvent):
+    task_id: str
+    attempt: int          #: the attempt that just failed (0-based)
+    reason: str           #: "crashed" | "timeout" | "error"
+    delay_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TaskFinished(RunnerEvent):
+    task_id: str
+    index: int
+    total: int
+    status: str           #: "ok" | "error" | "timeout" | "crashed"
+    attempts: int
+    duration_s: float
+    checks_pass: bool | None = None
+
+
+@dataclass(frozen=True)
+class PoolDegraded(RunnerEvent):
+    """The worker pool failed; remaining tasks run serially in-process."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class RunCompleted(RunnerEvent):
+    total: int
+    ok: int
+    failed: int
+    duration_s: float
+
+
+@dataclass
+class ProgressPrinter:
+    """Render runner events as one-line progress messages."""
+
+    stream: object = None
+    finished: int = field(default=0, init=False)
+
+    def _print(self, message: str) -> None:
+        import sys
+
+        print(message, file=self.stream or sys.stdout, flush=True)
+
+    def __call__(self, event: RunnerEvent) -> None:
+        if isinstance(event, RunStarted):
+            self._print(
+                f"runner: {event.total} task(s), jobs={event.jobs}, "
+                f"seed={event.root_seed}"
+            )
+        elif isinstance(event, TaskRetrying):
+            self._print(
+                f"  retry {event.task_id}: attempt {event.attempt + 1} "
+                f"{event.reason}, backing off {event.delay_s:.2f}s"
+            )
+        elif isinstance(event, TaskFinished):
+            self.finished += 1
+            checks = ""
+            if event.checks_pass is not None:
+                checks = " checks=PASS" if event.checks_pass else " checks=FAIL"
+            self._print(
+                f"[{self.finished}/{event.total}] {event.task_id} "
+                f"{event.status}{checks} ({event.duration_s:.1f}s, "
+                f"{event.attempts} attempt(s))"
+            )
+        elif isinstance(event, PoolDegraded):
+            self._print(f"runner: pool degraded, falling back to serial "
+                        f"({event.reason})")
+        elif isinstance(event, RunCompleted):
+            self._print(
+                f"runner: {event.ok}/{event.total} ok, {event.failed} failed "
+                f"in {event.duration_s:.1f}s"
+            )

@@ -1,0 +1,92 @@
+"""Selector grammar: turn CLI words into task specs.
+
+Accepted selectors (``python -m repro run <selector>...``):
+
+``all``
+    Every experiment in the registry (also ``--all``).
+``<experiment>``
+    One registry experiment by name (``fig4``, ``table1``...).
+``tag:<tag>``
+    Every experiment whose :class:`ExperimentSpec` carries the tag
+    (``tag:quick`` is the CI smoke sweep).
+``attack:<name>[@<engine>]``
+    One attack cell; the engine defaults to the attack's published
+    insecure target.
+``matrix``
+    The full security matrix: every Table-1 attack against every
+    engine in :data:`MATRIX_ENGINES` (insecure baselines and VUsion).
+
+Duplicate expansions collapse on task id, preserving first-seen order.
+"""
+
+from __future__ import annotations
+
+from repro.runner.task import TaskSpec
+
+#: Engine columns of the security matrix sweep.
+MATRIX_ENGINES = ("ksm", "coa-ksm", "wpf", "zeropage", "vusion")
+
+
+def _matrix_tasks() -> list[TaskSpec]:
+    from repro.harness.experiments import TABLE1_ATTACKS
+
+    return [
+        TaskSpec.attack(attack_cls.name, target=engine)
+        for attack_cls in TABLE1_ATTACKS
+        for engine in MATRIX_ENGINES
+    ]
+
+
+def _experiments_by_tag(tag: str) -> list[str]:
+    from repro.harness.experiments import EXPERIMENTS
+
+    names = [name for name, spec in EXPERIMENTS.items() if tag in spec.tags]
+    if not names:
+        known = sorted({t for s in EXPERIMENTS.values() for t in s.tags})
+        raise ValueError(
+            f"no experiment carries tag {tag!r} (known tags: {', '.join(known)})"
+        )
+    return names
+
+
+def expand_selectors(selectors, *, select_all: bool = False,
+                     scale: str = "quick") -> list[TaskSpec]:
+    """Expand selector strings into a deduplicated task list."""
+    from repro.harness.experiments import EXPERIMENTS
+
+    tasks: list[TaskSpec] = []
+    words = list(selectors)
+    if select_all:
+        words.append("all")
+    if not words:
+        raise ValueError("no selectors given (try an experiment name, "
+                         "'tag:quick', 'matrix' or --all)")
+    for word in words:
+        if word == "all":
+            tasks.extend(TaskSpec.experiment(name, scale=scale)
+                         for name in EXPERIMENTS)
+        elif word == "matrix":
+            tasks.extend(_matrix_tasks())
+        elif word.startswith("tag:"):
+            tasks.extend(
+                TaskSpec.experiment(name, scale=scale)
+                for name in _experiments_by_tag(word[len("tag:"):])
+            )
+        elif word.startswith("attack:"):
+            spec = word[len("attack:"):]
+            name, _, engine = spec.partition("@")
+            tasks.append(TaskSpec.attack(name, target=engine or None))
+        elif word in EXPERIMENTS:
+            tasks.append(TaskSpec.experiment(word, scale=scale))
+        else:
+            raise ValueError(
+                f"unknown selector {word!r} (experiment name, tag:<tag>, "
+                f"attack:<name>[@<engine>], 'matrix' or 'all')"
+            )
+    seen: set[str] = set()
+    unique: list[TaskSpec] = []
+    for task in tasks:
+        if task.task_id not in seen:
+            seen.add(task.task_id)
+            unique.append(task)
+    return unique

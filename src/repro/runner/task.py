@@ -1,0 +1,179 @@
+"""Task specifications and the worker-side executor.
+
+A :class:`TaskSpec` is a small, picklable, frozen description of one
+unit of work — an experiment from the registry, one attack-vs-engine
+cell of the security matrix, or a built-in self-test task used to
+exercise the pool's failure handling.  :func:`execute_task` turns a
+spec into a canonical JSON-able payload; it is a pure function of
+``(spec, seed)``, which is the determinism contract the parallel
+runner relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.runner.artifacts import sanitize
+
+#: Task kinds understood by :func:`execute_task`.
+KINDS = ("experiment", "attack", "selftest")
+
+
+def _freeze(params: dict) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work."""
+
+    kind: str
+    name: str
+    #: Scale preset name (experiments only; see ``SCALES``).
+    scale: str = "quick"
+    #: Explicit seed; ``None`` derives one from the run's root seed.
+    seed: int | None = None
+    #: Kind-specific parameters as sorted key/value pairs (kept as a
+    #: tuple so specs stay hashable and deterministic to serialize).
+    params: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown task kind {self.kind!r}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def experiment(cls, name: str, scale: str = "quick",
+                   seed: int | None = None) -> "TaskSpec":
+        from repro.harness.experiments import EXPERIMENTS, SCALES
+
+        if name not in EXPERIMENTS:
+            raise ValueError(f"unknown experiment {name!r}")
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}")
+        return cls(kind="experiment", name=name, scale=scale, seed=seed)
+
+    @classmethod
+    def attack(cls, name: str, target: str | None = None,
+               seed: int | None = None, **env_overrides) -> "TaskSpec":
+        from repro.attacks import ALL_ATTACKS
+        from repro.fusion.registry import ENGINE_SPECS
+
+        by_name = {a.name: a for a in ALL_ATTACKS}
+        if name not in by_name:
+            raise ValueError(f"unknown attack {name!r}")
+        resolved = target or by_name[name].default_target
+        if resolved not in ENGINE_SPECS:
+            raise ValueError(f"unknown engine {resolved!r}")
+        params = dict(env_overrides)
+        params["target"] = resolved
+        return cls(kind="attack", name=name, params=_freeze(params), seed=seed)
+
+    @classmethod
+    def selftest(cls, name: str, **params) -> "TaskSpec":
+        return cls(kind="selftest", name=name, params=_freeze(params))
+
+    # -- accessors ------------------------------------------------------
+    def param(self, key: str, default=None):
+        return dict(self.params).get(key, default)
+
+    @property
+    def task_id(self) -> str:
+        """Stable identity: seed derivation and artifact names key on it."""
+        if self.kind == "attack":
+            return f"attack:{self.name}@{self.param('target')}"
+        if self.kind == "experiment" and self.scale != "quick":
+            return f"experiment:{self.name}#{self.scale}"
+        return f"{self.kind}:{self.name}"
+
+    def describe(self) -> dict:
+        """JSON-able description (goes into artifacts verbatim)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "scale": self.scale if self.kind == "experiment" else None,
+            "params": {str(k): sanitize(v) for k, v in self.params},
+            "explicit_seed": self.seed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+def _run_experiment(spec: TaskSpec, seed: int) -> dict:
+    from repro.harness.experiments import EXPERIMENTS, SCALES
+
+    result = EXPERIMENTS[spec.name].run(SCALES[spec.scale], seed=seed)
+    return {
+        "type": "experiment",
+        "experiment": result.experiment,
+        "headers": sanitize(result.headers),
+        "rows": sanitize(result.rows),
+        "series": sanitize(result.series),
+        "checks": sanitize(result.checks),
+        "notes": sanitize(result.notes),
+        "checks_pass": result.all_checks_pass,
+    }
+
+
+def _run_attack(spec: TaskSpec, seed: int) -> dict:
+    from repro.attacks import ALL_ATTACKS
+
+    attack_cls = {a.name: a for a in ALL_ATTACKS}[spec.name]
+    overrides = {k: v for k, v in spec.params if k != "target"}
+    env = attack_cls.make_environment(spec.param("target"), seed=seed,
+                                      **overrides)
+    result = attack_cls(env).run()
+    return {
+        "type": "attack",
+        "attack": result.attack,
+        "target": result.target,
+        "success": result.success,
+        "mitigated_by": result.mitigated_by,
+        "evidence": sanitize(result.evidence),
+        "checks_pass": None,
+    }
+
+
+def _run_selftest(spec: TaskSpec, seed: int, attempt: int) -> dict:
+    """Controlled misbehaviour for pool tests and crash-injection runs.
+
+    ``mode`` drives the failure; ``fail_attempts=N`` makes the first N
+    attempts fail and later ones succeed, which is how the bounded
+    retry path is exercised end to end.
+    """
+    mode = spec.param("mode", "ok")
+    fail_attempts = int(spec.param("fail_attempts", 0))
+    failing = attempt < fail_attempts or (fail_attempts == 0 and mode != "ok")
+    if failing and mode == "crash":
+        os._exit(23)  # simulates a segfaulting worker: no reply, bad exit
+    if failing and mode == "hang":
+        time.sleep(float(spec.param("hang_s", 3600.0)))
+    if failing and mode == "raise":
+        raise RuntimeError(f"selftest {spec.name!r} injected failure")
+    sleep_s = float(spec.param("sleep_s", 0.0))
+    if sleep_s:
+        time.sleep(sleep_s)
+    return {
+        "type": "selftest",
+        "name": spec.name,
+        "value": sanitize(spec.param("value")),
+        "seed": seed,
+        "checks_pass": True,
+    }
+
+
+def execute_task(spec: TaskSpec, seed: int, attempt: int = 0) -> dict:
+    """Run one task and return its canonical payload.
+
+    Pure in ``(spec, seed)`` for experiments and attacks — ``attempt``
+    only influences the self-test kind, so retries of real work always
+    reproduce the first attempt's result.
+    """
+    if spec.kind == "experiment":
+        return _run_experiment(spec, seed)
+    if spec.kind == "attack":
+        return _run_attack(spec, seed)
+    return _run_selftest(spec, seed, attempt)

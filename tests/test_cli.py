@@ -1,11 +1,15 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (incl. the runner subcommand)."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import ATTACK_ENV_DEFAULTS, ATTACKS_BY_NAME, build_parser, main
-from repro.harness.experiments import EXPERIMENT_REGISTRY
+from repro.attacks import ALL_ATTACKS
+from repro.cli import ATTACKS_BY_NAME, build_parser, main
+from repro.fusion.registry import ENGINE_SPECS
+from repro.harness.experiments import EXPERIMENTS
 
 
 class TestParser:
@@ -24,18 +28,34 @@ class TestParser:
 
     def test_attack_defaults(self):
         args = build_parser().parse_args(["attack", "cow-timing"])
-        assert args.target == "ksm"
+        assert args.target is None  # resolved to the attack's own target
 
-    def test_every_attack_has_env_defaults_or_empty(self):
-        for name in ATTACKS_BY_NAME:
-            assert isinstance(ATTACK_ENV_DEFAULTS.get(name, {}), dict)
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig3", "tag:quick"])
+        assert args.selectors == ["fig3", "tag:quick"]
+        assert args.jobs == 1
+        assert args.out == "results/run"
+        assert not args.select_all
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--all", "--jobs", "4", "--timeout", "30", "--seed", "7"]
+        )
+        assert args.select_all and args.jobs == 4
+        assert args.timeout == 30.0 and args.seed == 7
+
+    def test_every_attack_declares_env_spec(self):
+        # The env defaults live on the attack classes now (single copy).
+        for attack in ALL_ATTACKS:
+            assert isinstance(attack.env_defaults, dict)
+            assert attack.default_target in ENGINE_SPECS
 
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENT_REGISTRY:
+        for name in EXPERIMENTS:
             assert name in out
         assert "cow-timing" in out
         assert "vusion" in out
@@ -50,6 +70,11 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "defeated" in out
 
+    def test_attack_default_target_resolves(self, capsys):
+        # page-color's published insecure target is WPF, not KSM.
+        assert main(["attack", "page-color"]) == 0
+        assert "vs wpf" in capsys.readouterr().out
+
     def test_experiment_runs_and_checks(self, capsys):
         assert main(["experiment", "fig3"]) == 0
         out = capsys.readouterr().out
@@ -59,3 +84,53 @@ class TestCommands:
     def test_experiment_seed_flag(self, capsys):
         assert main(["experiment", "ra", "--seed", "7"]) == 0
         assert "KS p-value" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_single_experiment_with_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", "fig3", "--jobs", "2", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "runner summary" in out
+        assert "experiment:fig3" in out
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["ok"] is True
+        assert manifest["jobs"] == 2
+        task_file = out_dir / manifest["tasks"][0]["file"]
+        document = json.loads(task_file.read_text())
+        assert document["result"]["checks_pass"] is True
+        assert document["result"]["type"] == "experiment"
+
+    def test_run_attack_selector(self, tmp_path, capsys):
+        assert main(["run", "attack:cow-timing@vusion", "--serial",
+                     "--out", str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "attack:cow-timing@vusion" in out
+
+    def test_run_unknown_selector_errors(self, tmp_path, capsys):
+        assert main(["run", "not-a-thing", "--out", str(tmp_path)]) == 2
+        assert "unknown selector" in capsys.readouterr().err
+
+    def test_run_no_selector_errors(self, capsys):
+        assert main(["run", "--no-artifacts"]) == 2
+        assert "no selectors" in capsys.readouterr().err
+
+
+class TestDeprecationShims:
+    def test_experiment_registry_still_callable(self):
+        from repro.harness.experiments import EXPERIMENT_REGISTRY, QUICK
+
+        assert set(EXPERIMENT_REGISTRY) == set(EXPERIMENTS)
+        with pytest.deprecated_call():
+            runner = EXPERIMENT_REGISTRY["fig3"]
+        assert runner(QUICK, 1017).all_checks_pass
+
+    def test_engine_factories_importable(self):
+        from repro.attacks.base import ENGINE_FACTORIES
+
+        assert set(ENGINE_FACTORIES) == set(ENGINE_SPECS)
+        engine = ENGINE_FACTORIES["ksm"]()
+        assert type(engine).__name__ == "Ksm"
+
+    def test_attacks_by_name_covers_all(self):
+        assert set(ATTACKS_BY_NAME) == {a.name for a in ALL_ATTACKS}
