@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test sanitize bench
+
+## check: everything CI gates on — simlint + tier-1 tests under FrameSan
+check: lint sanitize
+
+## lint: simlint over the source tree (exit 1 on any finding)
+lint:
+	$(PYTHON) -m repro lint src
+
+## test: the tier-1 suite, sanitizer off (fastest signal)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## sanitize: the tier-1 suite with FrameSan active
+sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+## bench: perf gates (fingerprint scan throughput, runner speedup)
+bench:
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_scan_throughput.py \
+	    benchmarks/test_runner_speedup.py

@@ -1,0 +1,48 @@
+"""Correctness tooling for the simulation's own invariants.
+
+Two layers, mirroring how the kernel pairs ``checkpatch``-style static
+checks with runtime sanitizers (KASAN):
+
+* **simlint** (:mod:`repro.check.engine`, :mod:`repro.check.rules`) —
+  an AST linter enforcing the determinism and layering contracts the
+  reproduction's claims rest on (``python -m repro lint``).
+* **FrameSan** (:mod:`repro.check.sanitizer`) — a runtime frame
+  sanitizer (``REPRO_SANITIZE=1``) that poisons freed frames, detects
+  use-after-free / double-free / CoW violations and audits refcount
+  and merge-charge accounting at end of run.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import Finding, LintResult, lint_paths, lint_source
+from repro.check.reporting import render_findings, findings_to_json
+from repro.check.rules import RULES, Rule
+from repro.check.sanitizer import (
+    FrameSan,
+    SanitizerError,
+    UseAfterFreeError,
+    DoubleFreeError,
+    BadFreeError,
+    CowViolationError,
+    AccountingError,
+    sanitizer_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "findings_to_json",
+    "RULES",
+    "Rule",
+    "FrameSan",
+    "SanitizerError",
+    "UseAfterFreeError",
+    "DoubleFreeError",
+    "BadFreeError",
+    "CowViolationError",
+    "AccountingError",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,57 @@
+"""The ``python -m repro lint`` subcommand."""
+
+from __future__ import annotations
+
+from repro.check.engine import lint_paths
+from repro.check.reporting import findings_to_json, render_findings
+from repro.check.rules import RULES
+
+DEFAULT_PATHS = ["src"]
+
+
+def add_lint_parser(sub) -> None:
+    """Register the ``lint`` subcommand on the main argparse tree."""
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint, the simulation-invariant linter",
+        description="Statically enforce determinism, write-barrier and "
+                    "layering invariants. Exit 0 iff no findings.",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--rule", action="append", dest="rules", default=None,
+                      metavar="ID", choices=sorted(RULES),
+                      help="check only this rule (repeatable)")
+    lint.add_argument("--format", choices=["human", "json"], default="human",
+                      help="report format (default human)")
+    lint.add_argument("--verbose", action="store_true",
+                      help="include each finding's rationale")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule_id, rule in RULES.items():
+            print(f"{rule_id}  [{rule.severity}]  {rule.summary}")
+        return 0
+    result = lint_paths(args.paths or DEFAULT_PATHS, rule_ids=args.rules)
+    if args.format == "json":
+        print(findings_to_json(result), end="")
+    else:
+        print(render_findings(result, verbose=args.verbose))
+    return 0 if result.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the ``simlint`` console script)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="simlint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    return cmd_lint(parser.parse_args(["lint", *argv]))

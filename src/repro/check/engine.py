@@ -1,0 +1,162 @@
+"""simlint's engine: walk files, run rule checkers, filter suppressions.
+
+The engine is deliberately free of repro.* runtime imports (it must be
+importable in a bare CI job) — rules communicate through
+:class:`LintContext`, and file paths are mapped to dotted module names
+purely textually.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.check.rules import RULES, Rule
+
+#: ``# simlint: disable=DET001,MEM001`` (or ``disable=all``).
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    errors: list[str] = field(default_factory=list)  #: unparseable files
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+class LintContext:
+    """Per-file state shared by every rule's visitor."""
+
+    def __init__(self, path: str, module: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.module = module
+        self.source_lines = source_lines
+        self.findings: list[Finding] = []
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(rule_id, line):
+            return
+        self.findings.append(Finding(
+            rule_id=rule_id,
+            severity=RULES[rule_id].severity,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        ))
+
+    def _suppressed(self, rule_id: str, line: int) -> bool:
+        if not 1 <= line <= len(self.source_lines):
+            return False
+        match = _SUPPRESS_RE.search(self.source_lines[line - 1])
+        if match is None:
+            return False
+        spec = match.group(1).strip()
+        if spec == "all":
+            return True
+        return rule_id in {part.strip() for part in spec.split(",")}
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Map a file path to a dotted module name, anchored at ``repro``.
+
+    ``.../src/repro/mem/physmem.py`` -> ``repro.mem.physmem``;
+    files outside a ``repro`` tree fall back to directory-based names
+    relative to their last ``src``/``tests``/``benchmarks`` anchor.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor):])
+    return ".".join(parts[-2:]) if len(parts) >= 2 else (parts[0] if parts else "")
+
+
+def _selected_rules(rule_ids: list[str] | None) -> list[Rule]:
+    if not rule_ids:
+        return list(RULES.values())
+    unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [RULES[rule_id] for rule_id in rule_ids]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    rule_ids: list[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string (the unit the rule tests exercise)."""
+    if module is None:
+        module = module_name_for(pathlib.Path(path))
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path, module, source.splitlines())
+    for rule in _selected_rules(rule_ids):
+        if rule.applies(module):
+            rule.checker(ctx).visit(tree)
+    ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return ctx.findings
+
+
+def iter_python_files(paths: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: list[str], rule_ids: list[str] | None = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            findings = lint_source(
+                source,
+                path=str(file_path),
+                module=module_name_for(file_path),
+                rule_ids=rule_ids,
+            )
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{file_path}: {exc}")
+            continue
+        result.files_scanned += 1
+        result.findings.extend(findings)
+    return result

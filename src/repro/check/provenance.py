@@ -1,0 +1,52 @@
+"""Per-frame provenance for sanitizer diagnostics.
+
+FrameSan records the last few lifecycle events (alloc, free, pool
+moves) of every frame it sees, stamped with *simulated* time, so a
+use-after-free report can say not just "pfn 217 is free" but "pfn 217:
+allocated from pool @3.2ms, freed by buddy @4.1ms" — the moral
+equivalent of KASAN's alloc/free stack traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrameEvent:
+    """One recorded lifecycle event of a frame."""
+
+    clock: int      #: simulated time (ns) the event happened at
+    op: str         #: "alloc" | "free" | "reserve" | "release" | ...
+    origin: str     #: "buddy" | "pool" | ...
+    detail: str = ""
+
+    def render(self) -> str:
+        text = f"{self.op}[{self.origin}] @{self.clock}ns"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+class FrameProvenance:
+    """Bounded per-frame event history."""
+
+    def __init__(self, events_per_frame: int = 8) -> None:
+        self.events_per_frame = events_per_frame
+        self._events: dict[int, deque[FrameEvent]] = {}
+
+    def record(self, pfn: int, clock: int, op: str, origin: str,
+               detail: str = "") -> None:
+        history = self._events.get(pfn)
+        if history is None:
+            history = self._events[pfn] = deque(maxlen=self.events_per_frame)
+        history.append(FrameEvent(clock, op, origin, detail))
+
+    def events(self, pfn: int) -> tuple[FrameEvent, ...]:
+        return tuple(self._events.get(pfn, ()))
+
+    def describe(self, pfn: int) -> str:
+        history = self._events.get(pfn)
+        if not history:
+            return f"pfn {pfn}: no recorded lifecycle events"
+        rendered = " -> ".join(event.render() for event in history)
+        return f"pfn {pfn}: {rendered}"

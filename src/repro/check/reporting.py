@@ -1,0 +1,59 @@
+"""Reporters for simlint findings: human-readable and JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.engine import LintResult
+from repro.check.rules import RULES
+
+#: Schema version of the JSON report (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_findings(result: LintResult, verbose: bool = False) -> str:
+    """Compiler-style one-line-per-finding report plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.severity} {finding.rule_id}: {finding.message}"
+        )
+        if verbose:
+            lines.append(f"    rationale: {RULES[finding.rule_id].rationale}")
+    for error in result.errors:
+        lines.append(f"error: cannot lint {error}")
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    if result.findings:
+        breakdown = ", ".join(
+            f"{rule_id}: {counts[rule_id]}" for rule_id in sorted(counts)
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s) ({breakdown})"
+        )
+    else:
+        lines.append(f"clean: {result.files_scanned} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def findings_to_json(result: LintResult) -> str:
+    """Stable JSON document (sorted keys) for CI consumption."""
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "clean": result.clean,
+        "counts": counts,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "errors": list(result.errors),
+        "rules": {
+            rule_id: {"severity": rule.severity, "summary": rule.summary}
+            for rule_id, rule in RULES.items()
+        },
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

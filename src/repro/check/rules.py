@@ -1,0 +1,433 @@
+"""simlint's rule registry and the built-in simulation-invariant rules.
+
+A rule is an id, a severity, a one-line summary and a *checker
+factory*: given a :class:`~repro.check.engine.LintContext` it returns
+an ``ast.NodeVisitor`` that reports findings through the context.
+Rules may scope themselves to parts of the tree via ``applies_to``
+(a predicate over the dotted module path), so e.g. the wall-clock ban
+exempts the runner, whose scheduling metadata is *supposed* to measure
+real time.
+
+Suppression: append ``# simlint: disable=RULE[,RULE...]`` (or
+``disable=all``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.engine import LintContext
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforceable invariant."""
+
+    id: str
+    severity: str                 #: "error" | "warning"
+    summary: str
+    rationale: str
+    checker: Callable[["LintContext"], ast.NodeVisitor]
+    #: Predicate over the dotted module path ("repro.mem.physmem").
+    applies_to: Callable[[str], bool] = field(default=lambda module: True)
+
+    def applies(self, module: str) -> bool:
+        return self.applies_to(module)
+
+
+#: Global registry, id -> Rule (insertion order is report order).
+RULES: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as 'a.b.c' (None if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _in_packages(*prefixes: str) -> Callable[[str], bool]:
+    def predicate(module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+    return predicate
+
+
+def _not_in_packages(*prefixes: str) -> Callable[[str], bool]:
+    inside = _in_packages(*prefixes)
+    return lambda module: not inside(module)
+
+
+# ----------------------------------------------------------------------
+# DET001 — no wall clock in simulation code
+# ----------------------------------------------------------------------
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+_WALL_CLOCK_IMPORTS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+
+
+class _WallClockVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            self.ctx.report(
+                "DET001", node,
+                f"wall-clock call {dotted}() in simulation code; "
+                "use kernel.clock (simulated time) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_IMPORTS:
+                    self.ctx.report(
+                        "DET001", node,
+                        f"'from time import {alias.name}' smuggles the "
+                        "wall clock into simulation code",
+                    )
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="DET001",
+    severity="error",
+    summary="no wall-clock reads outside repro.runner / benchmarks",
+    rationale=(
+        "Simulation results must be a pure function of (spec, seed); a "
+        "time.time()/datetime.now() read silently breaks the -j1 == -jN "
+        "byte-identical artifact guarantee. Simulated time lives in "
+        "kernel.clock; only the runner (scheduling metadata) and "
+        "benchmarks may consult the host clock."
+    ),
+    checker=_WallClockVisitor,
+    applies_to=_not_in_packages("repro.runner", "benchmarks", "tests"),
+))
+
+
+# ----------------------------------------------------------------------
+# DET002 — no module-level random
+# ----------------------------------------------------------------------
+_ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+
+class _GlobalRandomVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in _ALLOWED_RANDOM_ATTRS
+        ):
+            self.ctx.report(
+                "DET002", node,
+                f"module-level random.{func.attr}() draws from the shared "
+                "global RNG; construct a seeded random.Random and thread "
+                "it explicitly",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_RANDOM_ATTRS:
+                    self.ctx.report(
+                        "DET002", node,
+                        f"'from random import {alias.name}' binds the "
+                        "global RNG; import random.Random and seed it",
+                    )
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="DET002",
+    severity="error",
+    summary="no global-RNG random.* calls; RNGs are seeded and threaded",
+    rationale=(
+        "The global random module is process-wide mutable state: any "
+        "import-order or call-order change reshuffles every consumer, "
+        "and parallel workers diverge from serial runs. Every stochastic "
+        "component takes an explicitly seeded random.Random."
+    ),
+    checker=_GlobalRandomVisitor,
+))
+
+
+# ----------------------------------------------------------------------
+# DET003 — no unordered set/keys iteration in artifact/report paths
+# ----------------------------------------------------------------------
+def _is_unordered_iterable(node: ast.AST) -> str | None:
+    """Name the unordered construct ``node`` evaluates to, if any."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys()"
+    return None
+
+
+class _UnorderedIterVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        what = _is_unordered_iterable(iter_node)
+        if what is not None:
+            self.ctx.report(
+                "DET003", iter_node,
+                f"iterating {what} directly in an artifact/report path; "
+                "wrap in sorted(...) (set order depends on the hash seed; "
+                ".keys() order on insertion history)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+register(Rule(
+    id="DET003",
+    severity="error",
+    summary="no bare set()/dict.keys() iteration in artifact/report code",
+    rationale=(
+        "Artifacts are compared byte-for-byte across worker counts and "
+        "runs. Iterating a set whose elements are strings (or .keys() of "
+        "a dict built in data-dependent order) feeds hash-seed- or "
+        "history-dependent ordering straight into the output; sort "
+        "first."
+    ),
+    checker=_UnorderedIterVisitor,
+    applies_to=_in_packages("repro.analysis", "repro.runner", "repro.cli"),
+))
+
+
+# ----------------------------------------------------------------------
+# DET004 — no builtin hash() (PYTHONHASHSEED-dependent)
+# ----------------------------------------------------------------------
+class _BuiltinHashVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self.ctx.report(
+                "DET004", node,
+                "builtin hash() is salted per process (PYTHONHASHSEED) "
+                "for str/bytes; use zlib.crc32, hashlib or "
+                "repro.runner.seeds.derive_seed for stable values",
+            )
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="DET004",
+    severity="error",
+    summary="no builtin hash() for seeds, keys or ordering",
+    rationale=(
+        "hash(str) differs between interpreter invocations unless "
+        "PYTHONHASHSEED is pinned, so any seed or ordering derived from "
+        "it silently varies run to run — the exact failure mode the "
+        "byte-identical artifact contract exists to prevent."
+    ),
+    checker=_BuiltinHashVisitor,
+))
+
+
+# ----------------------------------------------------------------------
+# MEM001 — no write-barrier bypass on PhysicalMemory internals
+# ----------------------------------------------------------------------
+_PHYSMEM_INTERNALS = {
+    "_contents", "_refcount", "_types", "_rmap", "_versions",
+    "_fusion_pinned", "_free_lists", "_free_blocks",
+}
+
+
+class _PhysmemInternalsVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _PHYSMEM_INTERNALS:
+            self.ctx.report(
+                "MEM001", node,
+                f"direct access to frame-store internal .{node.attr} "
+                "bypasses the write barrier (fingerprint invalidation, "
+                "sanitizer hooks); go through the PhysicalMemory / "
+                "BuddyAllocator API",
+            )
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="MEM001",
+    severity="error",
+    summary="frame-store internals are mutated only inside repro.mem",
+    rationale=(
+        "PhysicalMemory.write/copy funnel every content mutation through "
+        "the fingerprint write barrier and FrameSan hooks; a direct "
+        "_contents[pfn] = ... keeps a stale digest alive and blinds the "
+        "sanitizer — the simulator's equivalent of skipping the PTE "
+        "reserved-bit trap VUsion relies on."
+    ),
+    checker=_PhysmemInternalsVisitor,
+    applies_to=_not_in_packages("repro.mem", "tests", "benchmarks"),
+))
+
+
+# ----------------------------------------------------------------------
+# LAY001 — import layering
+# ----------------------------------------------------------------------
+#: package prefix -> import prefixes it must never depend on (checked
+#: for every import statement outside ``if TYPE_CHECKING:`` blocks).
+LAYERING: dict[str, tuple[str, ...]] = {
+    "repro.errors": ("repro",),
+    "repro.params": ("repro.mem", "repro.mmu", "repro.kernel",
+                     "repro.fusion", "repro.core", "repro.runner"),
+    "repro.mem": ("repro.mmu", "repro.cache", "repro.dram", "repro.kernel",
+                  "repro.core", "repro.fusion", "repro.workloads",
+                  "repro.attacks", "repro.harness", "repro.analysis",
+                  "repro.runner", "repro.check", "repro.cli"),
+    "repro.mmu": ("repro.mem", "repro.cache", "repro.dram", "repro.kernel",
+                  "repro.core", "repro.fusion", "repro.workloads",
+                  "repro.attacks", "repro.harness", "repro.analysis",
+                  "repro.runner", "repro.check", "repro.cli"),
+    "repro.cache": ("repro.kernel", "repro.core", "repro.fusion",
+                    "repro.workloads", "repro.attacks", "repro.harness",
+                    "repro.analysis", "repro.runner", "repro.cli"),
+    "repro.dram": ("repro.kernel", "repro.core", "repro.fusion",
+                   "repro.workloads", "repro.attacks", "repro.harness",
+                   "repro.analysis", "repro.runner", "repro.cli"),
+    "repro.kernel": ("repro.fusion", "repro.core", "repro.workloads",
+                     "repro.attacks", "repro.harness", "repro.analysis",
+                     "repro.runner", "repro.cli"),
+    "repro.core": ("repro.workloads", "repro.attacks", "repro.harness",
+                   "repro.analysis", "repro.runner", "repro.cli"),
+    "repro.fusion": ("repro.workloads", "repro.attacks", "repro.harness",
+                     "repro.analysis", "repro.runner", "repro.cli"),
+    "repro.workloads": ("repro.core", "repro.fusion", "repro.attacks",
+                        "repro.harness", "repro.analysis", "repro.runner",
+                        "repro.cli"),
+    "repro.attacks": ("repro.workloads", "repro.harness", "repro.analysis",
+                      "repro.runner", "repro.cli"),
+    "repro.analysis": ("repro.workloads", "repro.attacks", "repro.harness",
+                       "repro.runner", "repro.cli"),
+    "repro.defenses": ("repro.harness", "repro.analysis", "repro.runner",
+                       "repro.cli"),
+    "repro.harness": ("repro.runner", "repro.cli"),
+    "repro.runner": ("repro.cli",),
+    # The sanitizer is imported *by* the kernel, so the check package
+    # must stay a leaf at runtime (lint-engine imports of repro.* are
+    # fine only under TYPE_CHECKING).
+    "repro.check": ("repro.mem", "repro.mmu", "repro.kernel", "repro.core",
+                    "repro.fusion", "repro.workloads", "repro.attacks",
+                    "repro.harness", "repro.analysis", "repro.runner",
+                    "repro.cli"),
+}
+
+
+def _forbidden_for(module: str) -> tuple[str, ...]:
+    best = ""
+    for prefix in LAYERING:
+        if (module == prefix or module.startswith(prefix + ".")) and len(prefix) > len(best):
+            best = prefix
+    return LAYERING.get(best, ())
+
+
+class _LayeringVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+        self.forbidden = _forbidden_for(ctx.module)
+
+    def _check(self, node: ast.AST, imported: str) -> None:
+        for prefix in self.forbidden:
+            if imported == prefix or imported.startswith(prefix + "."):
+                self.ctx.report(
+                    "LAY001", node,
+                    f"layering violation: {self.ctx.module} must not "
+                    f"import {imported} (lower layers cannot depend on "
+                    "orchestration/measurement layers)",
+                )
+                return
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            self._check(node, node.module)
+
+    def visit_If(self, node: ast.If) -> None:
+        # Imports under `if TYPE_CHECKING:` never execute; skip the body.
+        test = node.test
+        name = test.attr if isinstance(test, ast.Attribute) else getattr(test, "id", None)
+        if name == "TYPE_CHECKING":
+            for child in node.orelse:
+                self.visit(child)
+            return
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="LAY001",
+    severity="error",
+    summary="imports respect the layer order (mem/mmu → kernel → "
+            "fusion → attacks → harness → runner → cli)",
+    rationale=(
+        "Attacks measuring an engine must not reach into orchestration "
+        "(a result that depends on how it was launched is not a "
+        "result), engines must not know about the runner, and the "
+        "frame store must stay a leaf so FrameSan and the fingerprint "
+        "barrier see every mutation. TYPE_CHECKING imports are exempt."
+    ),
+    checker=_LayeringVisitor,
+    applies_to=_in_packages("repro"),
+))

@@ -10,6 +10,8 @@ Commands:
 * ``attack``     — thin alias: one attack vs one engine.
 * ``matrix``     — thin alias: the Table 1 attack matrix.
 * ``report``     — run every experiment and write a combined report.
+* ``lint``       — simlint, the simulation-invariant linter
+  (determinism, write-barrier, layering rules; see docs/CHECKING.md).
 """
 
 from __future__ import annotations
@@ -84,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=1017)
     report.add_argument("--jobs", "-j", type=int, default=1)
     report.add_argument("--output", default="results/full_report.txt")
+
+    from repro.check.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -254,6 +260,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_matrix(args.seed)
     if args.command == "report":
         return cmd_report(args.full, args.seed, args.jobs, args.output)
+    if args.command == "lint":
+        from repro.check.cli import cmd_lint
+
+        return cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -54,6 +54,12 @@ class DeferredFreeQueue:
         """Queue a stable-node reclaim check, run at drain time."""
         self._enqueue("reclaim", callback)
 
+    def pending_frees(self) -> frozenset[int]:
+        """Frames queued for freeing but not yet drained."""
+        return frozenset(
+            payload for kind, payload in self._queue if kind == "free"
+        )
+
     def drain(self) -> None:
         """Process all queued requests (daemon context)."""
         while self._queue:

@@ -57,12 +57,17 @@ class RandomFramePool:
 
     def _refill(self) -> None:
         buddy = self.kernel.buddy
+        sanitizer = self.kernel.sanitizer
         while len(self._frames) < self.capacity:
             try:
                 pfn = buddy.alloc()
             except OutOfMemoryError:
                 break
             self.kernel.physmem.set_frame_type(pfn, FrameType.FREE)
+            if sanitizer is not None:
+                # Reserve capacity holds no data: poison it so a stray
+                # read/write of a pooled frame faults as use-after-free.
+                sanitizer.on_reserve(pfn, "pool")
             self._frames.append(pfn)
 
     # ------------------------------------------------------------------
@@ -80,6 +85,8 @@ class RandomFramePool:
         if self.log_ranks and len(self.rank_log) < self.rank_log_limit:
             rank = sum(1 for frame in self._frames if frame < pfn)
             self.rank_log.append(rank / max(1, len(self._frames)))
+        if self.kernel.sanitizer is not None:
+            self.kernel.sanitizer.on_alloc(pfn, 1, "pool")
         self.kernel.physmem.set_frame_type(pfn, frame_type)
         self.kernel.clock.advance(self.kernel.costs.pool_alloc)
         self.allocs += 1
@@ -88,17 +95,27 @@ class RandomFramePool:
 
     def free(self, pfn: int) -> None:
         """Return a frame to the pool (spilling the oldest on overflow)."""
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_free(pfn, 1, "pool")
         self.kernel.physmem.set_frame_type(pfn, FrameType.FREE)
         self._frames.append(pfn)
         self.frees += 1
         while len(self._frames) > self.capacity:
             spilled = self._frames.pop(0)
+            if sanitizer is not None:
+                # Pool -> buddy is a free-to-free transfer; clear our
+                # poison so the buddy-free hook re-poisons it cleanly.
+                sanitizer.on_release(spilled, "pool")
             self.kernel.buddy.free(spilled)
 
     def drain(self) -> int:
         """Return every pooled frame to the buddy (teardown); count them."""
+        sanitizer = self.kernel.sanitizer
         count = len(self._frames)
         for pfn in self._frames:
+            if sanitizer is not None:
+                sanitizer.on_release(pfn, "pool")
             self.kernel.buddy.free(pfn)
         self._frames.clear()
         return count

@@ -360,6 +360,11 @@ class Vusion(FusionEngine):
         if walk is not None and walk.pte.fused:
             self._copy_on_access(process, vaddr, walk.pte.pfn)
 
+    def pending_frees(self) -> frozenset[int]:
+        if self.deferred is None:
+            return frozenset()
+        return self.deferred.pending_frees()
+
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------

@@ -175,6 +175,30 @@ class FusionEngine(ABC):
         return unmerged
 
     # ------------------------------------------------------------------
+    # Sanitizer integration
+    # ------------------------------------------------------------------
+    def pending_frees(self) -> frozenset[int]:
+        """Frames the engine has queued for freeing but not yet freed.
+
+        FrameSan's end-of-run audit exempts these from its leak check:
+        a frame sitting in VUsion's deferred-free queue is in flight,
+        not leaked — it is unreferenced *by design* until the next
+        daemon drain.
+        """
+        return frozenset()
+
+    def check_accounting(self) -> list[str]:
+        """Cross-check this engine's merge-charge ledger via FrameSan.
+
+        Returns problem descriptions (empty when clean or when the
+        kernel runs unsanitized).  Engines with bespoke charge models
+        may extend this with their own invariants.
+        """
+        if self.kernel is None or self.kernel.sanitizer is None:
+            return []
+        return self.kernel.sanitizer.check_fusion_accounting(self)
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def incremental_stats(self) -> dict[str, int]:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.cache.llc import LastLevelCache
 from repro.cache.timing import AccessTimer
+from repro.check.sanitizer import FrameSan
 from repro.dram.geometry import DramMapper
 from repro.dram.rowhammer import FlipTemplate, RowhammerEngine
 from repro.errors import (
@@ -56,7 +57,12 @@ ZERO_FRAME = 0
 class Kernel:
     """One simulated machine: physical memory, MMU services and daemons."""
 
-    def __init__(self, spec: MachineSpec | None = None, thp_fault_enabled: bool = False) -> None:
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        thp_fault_enabled: bool = False,
+        sanitize: bool | None = None,
+    ) -> None:
         self.spec = spec or MachineSpec()
         self.costs = self.spec.costs
         self.clock = Clock()
@@ -64,6 +70,16 @@ class Kernel:
             self.spec.total_frames, fingerprint_enabled=self.spec.fingerprint_enabled
         )
         self.buddy = BuddyAllocator(RESERVED_FRAMES, self.spec.total_frames - RESERVED_FRAMES)
+        #: FrameSan (None unless ``REPRO_SANITIZE=1`` or ``sanitize=True``):
+        #: shadow-poisons freed frames and faults on UAF/double-free/CoW
+        #: violations.  Shadow-state only, so simulation results are
+        #: byte-identical with it on or off.
+        self.sanitizer = FrameSan.from_env(
+            self.physmem, clock=self.clock, zero_frame=ZERO_FRAME,
+            reserved_frames=RESERVED_FRAMES, force=sanitize,
+        )
+        self.physmem.sanitizer = self.sanitizer
+        self.buddy.sanitizer = self.sanitizer
         self.llc = LastLevelCache(self.spec.cache)
         self.dram = DramMapper(self.spec.dram, self.spec.total_frames)
         self.timer = AccessTimer(self.costs, self.llc, self.dram)

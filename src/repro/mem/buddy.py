@@ -37,6 +37,10 @@ class BuddyAllocator:
         self._free_blocks: dict[int, int] = {}
         self.alloc_count = 0
         self.free_count = 0
+        #: Optional FrameSan hooks (set by the kernel under
+        #: ``REPRO_SANITIZE=1``): every alloc/free below reports its
+        #: frames so freed blocks are poisoned and bad frees fault.
+        self.sanitizer = None
         self._seed_free_blocks()
 
     def _seed_free_blocks(self) -> None:
@@ -87,6 +91,8 @@ class BuddyAllocator:
             current -= 1
             self._insert_free(pfn + (1 << current), current)
         self.alloc_count += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(pfn, 1 << order, "buddy")
         return pfn
 
     def alloc_specific(self, pfn: int) -> int:
@@ -110,6 +116,8 @@ class BuddyAllocator:
                 self._insert_free(head, order)
                 head += half
         self.alloc_count += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(pfn, 1, "buddy")
         return pfn
 
     # ------------------------------------------------------------------
@@ -129,6 +137,8 @@ class BuddyAllocator:
             raise InvalidFrameError(f"block {pfn}+{1 << order} outside managed range")
         if self._overlaps_free(pfn, order):
             raise InvalidFrameError(f"double free of pfn {pfn} (order {order})")
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(pfn, 1 << order, "buddy")
         while order < MAX_ORDER:
             buddy = pfn ^ (1 << order)
             if (

@@ -61,6 +61,10 @@ class PhysicalMemory:
         #: Incremental content fingerprints; every mutation path below
         #: — including :meth:`corrupt_bit` — invalidates through it.
         self.fingerprints = FingerprintCache(num_frames, enabled=fingerprint_enabled)
+        #: Optional FrameSan hooks (set by the kernel under
+        #: ``REPRO_SANITIZE=1``); content accesses below consult it so
+        #: use-after-free and CoW violations fault at the access site.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -75,6 +79,19 @@ class PhysicalMemory:
     def read(self, pfn: int) -> PageContent:
         """Return the content of frame ``pfn``."""
         self.check_pfn(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.on_read(pfn)
+        return self._contents[pfn]
+
+    def peek_content(self, pfn: int) -> PageContent:
+        """Diagnostic read bypassing the sanitizer's UAF check.
+
+        For tests and debugging tools that legitimately inspect freed
+        frames (e.g. validating that a freed frame's cached digest is
+        still exact) — the moral equivalent of reading /proc/kcore.
+        Simulation code must use :meth:`read`.
+        """
+        self.check_pfn(pfn)
         return self._contents[pfn]
 
     def write(self, pfn: int, content: PageContent) -> None:
@@ -82,6 +99,8 @@ class PhysicalMemory:
         self.check_pfn(pfn)
         if len(content) > PAGE_SIZE:
             raise InvalidFrameError("content larger than a page")
+        if self.sanitizer is not None:
+            self.sanitizer.on_write(pfn)
         self._contents[pfn] = content
         self._versions[pfn] += 1
         self.fingerprints.note_mutation(pfn)
@@ -90,6 +109,9 @@ class PhysicalMemory:
         """Copy the full page content of ``src`` into ``dst``."""
         self.check_pfn(src)
         self.check_pfn(dst)
+        if self.sanitizer is not None:
+            self.sanitizer.on_read(src)
+            self.sanitizer.on_write(dst)
         self._contents[dst] = self._contents[src]
         self._versions[dst] += 1
         self.fingerprints.note_mutation(dst)
@@ -103,6 +125,9 @@ class PhysicalMemory:
         from repro.mem.content import flip_bit
 
         self.check_pfn(pfn)
+        # Rowhammer also bypasses the sanitizer's UAF/CoW checks on
+        # purpose: a flip landing in a shared or freed frame is the
+        # physical phenomenon under study, not a simulator bug.
         self._contents[pfn] = flip_bit(self._contents[pfn], byte_offset, bit)
         # Rowhammer bypasses permissions and copy-on-write, but not the
         # fingerprint cache: a flipped frame must never keep its stale

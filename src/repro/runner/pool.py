@@ -89,9 +89,15 @@ def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int) -> None:
         payload = execute_task(spec, seed, attempt=attempt)
         conn.send(("ok", payload, None))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        # Structured checker errors (FrameSan, simlint) carry a one-line
+        # ``diagnostic`` with frame provenance; lead with it so the
+        # supervisor can surface it without parsing the traceback.
+        diagnostic = getattr(exc, "diagnostic", None)
+        detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        if diagnostic:
+            detail = f"{diagnostic}\n{detail}"
         try:
-            conn.send(("error", None,
-                       f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+            conn.send(("error", None, detail))
         except Exception:
             pass
     finally:
@@ -99,6 +105,23 @@ def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int) -> None:
             conn.close()
         except Exception:
             pass
+
+
+#: Markers of structured checker diagnostics (see repro.check): the one
+#: line worth surfacing verbatim when an attempt's full detail is a
+#: multi-page traceback.
+_DIAGNOSTIC_MARKERS = ("[FrameSan:", "[simlint]")
+
+
+def extract_diagnostic(detail: str | None) -> str | None:
+    """Return the last checker diagnostic line in a failure detail."""
+    if not detail:
+        return None
+    found = None
+    for line in detail.splitlines():
+        if any(marker in line for marker in _DIAGNOSTIC_MARKERS):
+            found = line.strip()
+    return found
 
 
 @dataclass
@@ -138,6 +161,9 @@ class TaskPool:
         ]
         self._results: list[TaskResult | None] = [None] * len(self.tasks)
         self._first_started: dict[int, float] = {}
+        #: Per-task failure history ("attempt N: outcome: first line"),
+        #: folded into the final error when the retry budget runs out.
+        self._attempt_log: dict[int, list[str]] = {}
 
     # -- event helpers --------------------------------------------------
     def _emit(self, event) -> None:
@@ -169,6 +195,34 @@ class TaskPool:
 
     def _backoff(self, attempt: int) -> float:
         return self.config.retry_backoff_s * (2 ** attempt)
+
+    def _note_failure(self, index: int, attempt: int, outcome: str,
+                      detail: str) -> None:
+        summary = (detail or outcome).strip()
+        first_line = summary.splitlines()[0] if summary else outcome
+        self._attempt_log.setdefault(index, []).append(
+            f"attempt {attempt + 1}: {outcome}: {first_line}"
+        )
+
+    def _exhausted_error(self, index: int, outcome: str, detail: str) -> str:
+        """Final error for a task that ran out of retries.
+
+        Leads with the task id and the per-attempt history, then the
+        last checker diagnostic (FrameSan/simlint) if one is buried in
+        the traceback, then the full detail of the final attempt.
+        """
+        history = self._attempt_log.get(index, [])
+        lines = [
+            f"task '{self.tasks[index].task_id}' (seed {self.seeds[index]}) "
+            f"gave up: {outcome} after {len(history)} attempt(s)"
+        ]
+        lines += [f"  {entry}" for entry in history]
+        diagnostic = extract_diagnostic(detail)
+        if diagnostic:
+            lines.append(f"  last checker diagnostic: {diagnostic}")
+        if detail:
+            lines.append(detail)
+        return "\n".join(lines)
 
     # -- public API -----------------------------------------------------
     def run(self) -> list[TaskResult]:
@@ -288,6 +342,7 @@ class TaskPool:
             running.remove(attempt)
             progressed = True
             self._kill(attempt)
+            self._note_failure(attempt.index, attempt.attempt, outcome, detail)
             if attempt.attempt < self.config.max_retries:
                 delay = self._backoff(attempt.attempt)
                 self._emit(TaskRetrying(
@@ -300,8 +355,10 @@ class TaskPool:
                     ready_at=time.monotonic() + delay,
                 ))
             else:
-                self._finish(attempt.index, outcome, attempt.attempt + 1,
-                             error=detail or outcome)
+                self._finish(
+                    attempt.index, outcome, attempt.attempt + 1,
+                    error=self._exhausted_error(attempt.index, outcome, detail),
+                )
         return progressed
 
     @staticmethod
@@ -333,6 +390,10 @@ class TaskPool:
                                            self.seeds[index], attempt=attempt)
                 except Exception as exc:
                     detail = f"{type(exc).__name__}: {exc}"
+                    diagnostic = getattr(exc, "diagnostic", None)
+                    if diagnostic:
+                        detail = f"{diagnostic}\n{detail}"
+                    self._note_failure(index, attempt, "error", detail)
                     if attempt < self.config.max_retries:
                         delay = self._backoff(attempt)
                         self._emit(TaskRetrying(
@@ -343,8 +404,11 @@ class TaskPool:
                         time.sleep(delay)
                         attempt += 1
                         continue
-                    self._finish(index, "error", attempt + 1,
-                                 error=detail, mode="serial")
+                    self._finish(
+                        index, "error", attempt + 1,
+                        error=self._exhausted_error(index, "error", detail),
+                        mode="serial",
+                    )
                     break
                 self._finish(index, "ok", attempt + 1, payload=payload,
                              mode="serial")

@@ -12,6 +12,7 @@ quantity.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.kernel.process import Process
@@ -44,7 +45,12 @@ class SyntheticBenchmark(Workload):
         self.process = process
         self.spec = spec
         self.name = spec.name
-        self.rng = random.Random((seed << 16) ^ hash(spec.name) & 0xFFFF)
+        # crc32, not hash(): builtin str hashing is salted per process
+        # (PYTHONHASHSEED), which would give every run a different RNG
+        # stream and break byte-identical artifacts (simlint DET004).
+        self.rng = random.Random(
+            (seed << 16) ^ zlib.crc32(spec.name.encode()) & 0xFFFF
+        )
         self.vma = process.mmap(
             spec.pages, name=f"bench:{spec.name}", mergeable=True
         )

@@ -16,6 +16,7 @@ pages.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.kernel.kernel import Kernel
@@ -88,7 +89,11 @@ class GuestVm:
         self.process = process
         self.image = image
         self.regions: dict[str, Vma] = {}
-        self.rng = random.Random((hash(process.name) & 0xFFFF) | 0x10000)
+        # crc32, not hash(): salted str hashing would reseed this RNG
+        # differently on every interpreter run (simlint DET004).
+        self.rng = random.Random(
+            (zlib.crc32(process.name.encode()) & 0xFFFF) | 0x10000
+        )
 
     def region(self, guest_kind: str) -> Vma:
         return self.regions[guest_kind]

@@ -40,13 +40,27 @@ def dup(tag: object, index: int = 0) -> bytes:
     return tagged_content("test-dup", tag, index)
 
 
+def audit_if_sanitized(kern: Kernel) -> None:
+    """End-of-test frame audit, active only under ``REPRO_SANITIZE=1``.
+
+    Raises ``AccountingError`` on refcount/rmap/pin or merge-charge
+    inconsistencies, turning silent leaks into test failures.
+    """
+    if kern.sanitizer is not None:
+        kern.sanitizer.assert_clean(kern.fusion)
+
+
 @pytest.fixture
 def kernel() -> Kernel:
     """A small bare kernel (no fusion engine)."""
-    return Kernel(small_spec())
+    kern = Kernel(small_spec())
+    yield kern
+    audit_if_sanitized(kern)
 
 
 @pytest.fixture
 def kernel_thp() -> Kernel:
     """A kernel with THP-on-fault enabled."""
-    return Kernel(small_spec(frames=16384), thp_fault_enabled=True)
+    kern = Kernel(small_spec(frames=16384), thp_fault_enabled=True)
+    yield kern
+    audit_if_sanitized(kern)

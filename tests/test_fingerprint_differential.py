@@ -77,7 +77,9 @@ def assert_cache_fresh(physmem: PhysicalMemory) -> None:
     fingerprints = physmem.fingerprints
     for pfn in fingerprints.cached_frames():
         cached = fingerprints.peek(pfn)
-        fresh = content_digest(physmem.read(pfn))
+        # peek_content: freed frames keep their (still-exact) cached
+        # digests, and this check must not trip FrameSan's UAF detector.
+        fresh = content_digest(physmem.peek_content(pfn))
         assert cached == fresh, (
             f"stale digest for pfn {pfn}: cached {cached:#x}, fresh {fresh:#x}"
         )
@@ -194,7 +196,9 @@ def check_dirty_exactness(physmem, view, contents_before, gens_before) -> None:
     changed = {
         pfn
         for pfn in range(physmem.num_frames)
-        if physmem.read(pfn) != contents_before[pfn]
+        # peek_content: this sweep inspects *every* frame, including
+        # legitimately freed ones, and must not trip FrameSan's UAF check.
+        if physmem.peek_content(pfn) != contents_before[pfn]
     }
     advanced = {
         pfn

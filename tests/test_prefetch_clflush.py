@@ -117,3 +117,5 @@ class TestCachedCopy:
         assert kernel.physmem.read(dst) == b"payload"
         assert kernel.llc.contains_line(src * 4096)
         assert kernel.llc.contains_line(dst * 4096)
+        kernel.free_frame(src)
+        kernel.free_frame(dst)

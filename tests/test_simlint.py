@@ -1,0 +1,344 @@
+"""simlint rule tests: one good + one bad fixture per rule, the
+suppression mechanism, the JSON report schema, and the meta-test that
+keeps ``src/`` itself clean."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.check import (
+    RULES,
+    findings_to_json,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.check.engine import LintResult, module_name_for
+from repro.check.reporting import JSON_SCHEMA_VERSION
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def lint(source: str, module: str, rules: list[str] | None = None):
+    return lint_source(textwrap.dedent(source), module=module, rule_ids=rules)
+
+
+def rule_ids(findings) -> list[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall clock
+# ----------------------------------------------------------------------
+class TestDet001WallClock:
+    BAD = """
+        import time
+        def tick():
+            return time.monotonic()
+    """
+
+    def test_flags_wall_clock_call(self):
+        findings = lint(self.BAD, "repro.kernel.kernel", ["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_flags_datetime_now(self):
+        findings = lint(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """,
+            "repro.harness.experiments", ["DET001"],
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_flags_from_time_import(self):
+        findings = lint(
+            "from time import perf_counter\n", "repro.core.vusion", ["DET001"]
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_runner_and_benchmarks_exempt(self):
+        for module in ("repro.runner.pool", "benchmarks.bench_scan"):
+            assert lint(self.BAD, module, ["DET001"]) == []
+
+    def test_simulated_clock_is_clean(self):
+        clean = """
+            def tick(kernel):
+                return kernel.clock.now
+        """
+        assert lint(clean, "repro.kernel.kernel", ["DET001"]) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — global RNG
+# ----------------------------------------------------------------------
+class TestDet002GlobalRandom:
+    def test_flags_global_random_call(self):
+        findings = lint(
+            """
+            import random
+            def jitter():
+                return random.random()
+            """,
+            "repro.workloads.synthetic", ["DET002"],
+        )
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_flags_from_random_import(self):
+        findings = lint(
+            "from random import shuffle\n", "repro.attacks.dedup", ["DET002"]
+        )
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_seeded_rng_is_clean(self):
+        clean = """
+            import random
+            def make_rng(seed):
+                return random.Random(seed)
+        """
+        assert lint(clean, "repro.workloads.synthetic", ["DET002"]) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration in artifact paths
+# ----------------------------------------------------------------------
+class TestDet003UnorderedIteration:
+    BAD = """
+        def render(rows):
+            out = []
+            for key in rows.keys():
+                out.append(key)
+            return out
+    """
+
+    def test_flags_keys_iteration_in_report_path(self):
+        findings = lint(self.BAD, "repro.analysis.report", ["DET003"])
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_flags_set_literal_in_comprehension(self):
+        findings = lint(
+            "names = [n for n in {'b', 'a'}]\n",
+            "repro.runner.artifacts", ["DET003"],
+        )
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_simulation_code_exempt(self):
+        # Engines iterate sets freely; only artifact/report paths must sort.
+        assert lint(self.BAD, "repro.fusion.ksm", ["DET003"]) == []
+
+    def test_sorted_iteration_is_clean(self):
+        clean = """
+            def render(rows):
+                return [key for key in sorted(rows)]
+        """
+        assert lint(clean, "repro.analysis.report", ["DET003"]) == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — builtin hash()
+# ----------------------------------------------------------------------
+class TestDet004BuiltinHash:
+    def test_flags_hash_call(self):
+        findings = lint(
+            "seed = hash('bench') & 0xFFFF\n",
+            "repro.workloads.synthetic", ["DET004"],
+        )
+        assert rule_ids(findings) == ["DET004"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_crc32_is_clean(self):
+        clean = """
+            import zlib
+            def stable_seed(name):
+                return zlib.crc32(name.encode()) & 0xFFFF
+        """
+        assert lint(clean, "repro.workloads.synthetic", ["DET004"]) == []
+
+
+# ----------------------------------------------------------------------
+# MEM001 — frame-store internals
+# ----------------------------------------------------------------------
+class TestMem001FrameStoreInternals:
+    BAD = """
+        def smash(physmem, pfn, content):
+            physmem._contents[pfn] = content
+    """
+
+    def test_flags_direct_contents_write(self):
+        findings = lint(self.BAD, "repro.fusion.ksm", ["MEM001"])
+        assert rule_ids(findings) == ["MEM001"]
+        assert "_contents" in findings[0].message
+
+    def test_repro_mem_and_tests_exempt(self):
+        for module in ("repro.mem.physmem", "tests.test_kernel"):
+            assert lint(self.BAD, module, ["MEM001"]) == []
+
+    def test_api_access_is_clean(self):
+        clean = """
+            def smash(physmem, pfn, content):
+                physmem.write(pfn, content)
+        """
+        assert lint(clean, "repro.fusion.ksm", ["MEM001"]) == []
+
+
+# ----------------------------------------------------------------------
+# LAY001 — import layering
+# ----------------------------------------------------------------------
+class TestLay001Layering:
+    def test_kernel_must_not_import_runner(self):
+        findings = lint(
+            "from repro.runner.pool import TaskPool\n",
+            "repro.kernel.kernel", ["LAY001"],
+        )
+        assert rule_ids(findings) == ["LAY001"]
+        assert "repro.runner.pool" in findings[0].message
+
+    def test_attacks_must_not_import_harness(self):
+        findings = lint(
+            "import repro.harness.experiments\n",
+            "repro.attacks.dedup", ["LAY001"],
+        )
+        assert rule_ids(findings) == ["LAY001"]
+
+    def test_type_checking_imports_exempt(self):
+        clean = """
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.fusion.base import FusionEngine
+        """
+        assert lint(clean, "repro.kernel.kernel", ["LAY001"]) == []
+
+    def test_downward_imports_are_clean(self):
+        clean = """
+            from repro.errors import ReproError
+            from repro.mem.physmem import PhysicalMemory
+        """
+        assert lint(clean, "repro.kernel.kernel", ["LAY001"]) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_line_suppression_honored(self):
+        source = "seed = hash('x')  # simlint: disable=DET004\n"
+        assert lint_source(source, module="repro.core.vusion") == []
+
+    def test_disable_all(self):
+        source = "seed = hash('x')  # simlint: disable=all\n"
+        assert lint_source(source, module="repro.core.vusion") == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "seed = hash('x')  # simlint: disable=DET001\n"
+        findings = lint_source(source, module="repro.core.vusion")
+        assert rule_ids(findings) == ["DET004"]
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+class TestReports:
+    def make_result(self) -> LintResult:
+        findings = lint_source(
+            "seed = hash('x')\n", path="src/repro/core/x.py",
+            module="repro.core.x",
+        )
+        return LintResult(findings=findings, files_scanned=1)
+
+    def test_json_schema(self):
+        document = json.loads(findings_to_json(self.make_result()))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["clean"] is False
+        assert document["files_scanned"] == 1
+        assert document["counts"] == {"DET004": 1}
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col", "message"
+        }
+        assert set(document["rules"]) == set(RULES)
+
+    def test_human_report_mentions_location_and_rule(self):
+        text = render_findings(self.make_result())
+        assert "src/repro/core/x.py:1:" in text
+        assert "DET004" in text
+        assert "1 finding(s)" in text
+
+    def test_clean_summary(self):
+        text = render_findings(LintResult(files_scanned=3))
+        assert "clean: 3 file(s), 0 findings" in text
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_module_name_for(self):
+        assert (
+            module_name_for(pathlib.Path("src/repro/mem/physmem.py"))
+            == "repro.mem.physmem"
+        )
+        assert (
+            module_name_for(pathlib.Path("src/repro/check/__init__.py"))
+            == "repro.check"
+        )
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="NOPE999"):
+            lint_source("x = 1\n", rule_ids=["NOPE999"])
+
+    def test_lint_paths_reports_syntax_errors(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (\n")
+        result = lint_paths([str(tmp_path)])
+        assert result.files_scanned == 1
+        assert len(result.errors) == 1
+        assert not result.clean
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("seed = hash('x')\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "DET004" in out
+
+
+# ----------------------------------------------------------------------
+# Meta: the repository itself lints clean, with no DET escape hatches
+# ----------------------------------------------------------------------
+class TestRepositoryIsClean:
+    def test_src_lints_clean(self):
+        result = lint_paths([str(SRC)])
+        assert result.errors == []
+        assert result.findings == [], render_findings(result)
+
+    def test_no_det_suppressions_in_src(self):
+        # A suppression only counts when attached to a code line; the
+        # lint engine documents the syntax in comments, which is fine.
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                code = line.split("#", 1)[0].strip()
+                if not code:
+                    continue
+                if "simlint: disable=DET" in line or (
+                    "simlint: disable=all" in line
+                ):
+                    offenders.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}"
+                    )
+        assert offenders == []

@@ -124,12 +124,15 @@ class TestDeferredFreeQueue:
         assert len(queue) == 0
 
     def test_enqueue_charges_constant_time(self):
-        kernel, _pool, queue = self.make_queue()
+        kernel, pool, queue = self.make_queue()
+        # A real allocation: freeing a never-allocated literal pfn would
+        # (rightly) trip FrameSan's double-free check.
+        pfn = pool.alloc()
         t0 = kernel.clock.now
         queue.queue_dummy()
         dummy_cost = kernel.clock.now - t0
         t0 = kernel.clock.now
-        queue.queue_free(17)
+        queue.queue_free(pfn)
         free_cost = kernel.clock.now - t0
         assert dummy_cost == free_cost  # the SB-critical property
         queue.drain()
