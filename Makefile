@@ -6,9 +6,9 @@ export PYTHONPATH := src
 ## check: everything CI gates on — simlint + tier-1 tests under FrameSan
 check: lint sanitize
 
-## lint: simlint over the source tree (exit 1 on any finding)
+## lint: simlint + simflow over the whole tree (exit 1 on any finding)
 lint:
-	$(PYTHON) -m repro lint src
+	$(PYTHON) -m repro lint src tests benchmarks examples
 
 ## test: the tier-1 suite, sanitizer off (fastest signal)
 test:
@@ -18,7 +18,8 @@ test:
 sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
-## bench: perf gates (fingerprint scan throughput, runner speedup)
+## bench: perf gates (scan throughput, runner speedup, lint throughput)
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks/test_scan_throughput.py \
-	    benchmarks/test_runner_speedup.py
+	    benchmarks/test_runner_speedup.py \
+	    benchmarks/test_lint_throughput.py

@@ -1,0 +1,72 @@
+"""Lint-throughput regression gate for simlint + simflow.
+
+The flow engine builds a CFG and runs four dataflow fixpoints per
+function, so a careless change (quadratic joins, re-solving per rule
+per statement, unbounded worklists) would quietly turn ``make lint``
+from subsecond into minutes.  This gate runs the full dual-engine
+analysis over the real tree (``src``, ``tests``, ``benchmarks``,
+``examples``) and asserts a per-file time budget, tracked in
+``BENCH_lint_throughput.json`` at the repository root like the scan
+and runner gates.
+
+Wall-clock budgets are generous (CI machines vary); the point is to
+catch order-of-magnitude regressions, not few-percent noise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.check import lint_paths
+from repro.check.engine import iter_python_files
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_lint_throughput.json"
+
+LINT_PATHS = [
+    str(REPO_ROOT / name)
+    for name in ("src", "tests", "benchmarks", "examples")
+]
+REPEATS = 3
+#: Full-tree budget, milliseconds per analyzed file (both engines).
+BUDGET_MS_PER_FILE = 50.0
+#: And an absolute full-tree ceiling so a file-count collapse cannot
+#: mask a blow-up.
+BUDGET_S_TOTAL = 20.0
+
+
+def test_full_tree_lint_stays_under_budget():
+    file_count = len(iter_python_files(LINT_PATHS))
+    assert file_count > 0
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = lint_paths(LINT_PATHS)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    assert result.errors == []
+    per_file_ms = best * 1000.0 / result.files_scanned
+    report = {
+        "paths": ["src", "tests", "benchmarks", "examples"],
+        "files_scanned": result.files_scanned,
+        "findings": len(result.findings),
+        "best_wall_seconds": best,
+        "ms_per_file": per_file_ms,
+        "budget_ms_per_file": BUDGET_MS_PER_FILE,
+        "budget_s_total": BUDGET_S_TOTAL,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nlint: {result.files_scanned} files in {best:.2f}s "
+        f"({per_file_ms:.1f} ms/file), wrote {RESULT_PATH}"
+    )
+    assert per_file_ms <= BUDGET_MS_PER_FILE, (
+        f"dual-engine lint costs {per_file_ms:.1f} ms/file "
+        f"(budget {BUDGET_MS_PER_FILE} ms)"
+    )
+    assert best <= BUDGET_S_TOTAL, (
+        f"full-tree lint took {best:.2f}s (budget {BUDGET_S_TOTAL}s)"
+    )

@@ -1,0 +1,45 @@
+"""Zero-dependency source annotations read by simflow (`repro.check.flow`).
+
+The decorators below are identity functions at runtime — they change
+nothing about the decorated callable.  Their value is *syntactic*: the
+static flow analyzer recognizes them by name (the last component of the
+decorator expression), so simulation code can state facts the analyzer
+cannot infer on its own without importing the analyzer (this module is
+a leaf: it imports nothing from ``repro`` and may be imported from any
+layer, including ``repro.mem`` and ``repro.mmu``).
+
+Annotations are facts, not suppressions: ``@escapes_frame`` says "this
+function hands out a raw frame handle *by design* and its caller takes
+ownership"; a per-line ``# simlint: disable=FLOW003`` says "the
+analyzer is wrong here".  Prefer the annotation whenever the escape is
+part of the function's contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def escapes_frame(func: _F) -> _F:
+    """Mark a function whose allocated frame handles escape by design.
+
+    FLOW003 (frame-handle leak) skips the body entirely: the function's
+    contract is to return or hand off a raw pfn whose ownership moves
+    to the caller (e.g. an allocator front-end), so intraprocedural
+    leak tracking would be meaningless noise.
+    """
+    return func
+
+
+def artifact_boundary(func: _F) -> _F:
+    """Mark a function whose return value is written into artifacts.
+
+    FLOW004 (taint into artifacts) treats every ``return`` in the body
+    as a sink: values derived from the wall clock, the global RNG or
+    builtin ``hash()`` must not reach it.  ``execute_task`` is a sink
+    by name; everything else that feeds ``results/`` should carry this
+    marker.
+    """
+    return func

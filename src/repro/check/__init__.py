@@ -6,6 +6,11 @@ checks with runtime sanitizers (KASAN):
 * **simlint** (:mod:`repro.check.engine`, :mod:`repro.check.rules`) —
   an AST linter enforcing the determinism and layering contracts the
   reproduction's claims rest on (``python -m repro lint``).
+* **simflow** (:mod:`repro.check.cfg`, :mod:`repro.check.lattice`,
+  :mod:`repro.check.flow_rules`) — an intraprocedural CFG + worklist
+  dataflow analyzer whose FLOW rules prove *path* properties the AST
+  rules cannot see: the S ⊕ F mapping discipline, charge/ledger
+  exception safety, frame-handle leaks and taint into artifacts.
 * **FrameSan** (:mod:`repro.check.sanitizer`) — a runtime frame
   sanitizer (``REPRO_SANITIZE=1``) that poisons freed frames, detects
   use-after-free / double-free / CoW violations and audits refcount
@@ -14,7 +19,18 @@ checks with runtime sanitizers (KASAN):
 
 from __future__ import annotations
 
-from repro.check.engine import Finding, LintResult, lint_paths, lint_source
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+from repro.check.cfg import FunctionCFG, build_cfg, iter_functions
+from repro.check.engine import (
+    Finding,
+    LintResult,
+    engine_of,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+from repro.check.flow_rules import FLOW_RULES, FlowRule
+from repro.check.lattice import solve_forward, solve_must_reach
 from repro.check.reporting import render_findings, findings_to_json
 from repro.check.rules import RULES, Rule
 from repro.check.sanitizer import (
@@ -33,10 +49,22 @@ __all__ = [
     "LintResult",
     "lint_paths",
     "lint_source",
+    "engine_of",
+    "rule_catalog",
     "render_findings",
     "findings_to_json",
     "RULES",
     "Rule",
+    "FLOW_RULES",
+    "FlowRule",
+    "FunctionCFG",
+    "build_cfg",
+    "iter_functions",
+    "solve_forward",
+    "solve_must_reach",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
     "FrameSan",
     "SanitizerError",
     "UseAfterFreeError",

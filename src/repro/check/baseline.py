@@ -1,0 +1,96 @@
+"""Baseline files: land new lint rules warn-only, then ratchet.
+
+A baseline is a JSON inventory of *accepted* findings.  With
+``python -m repro lint --baseline lint-baseline.json`` every finding
+that matches a baseline entry is moved out of the failing set (still
+reported, separately, so it stays visible), so a new rule can be
+enabled tree-wide before every pre-existing violation is fixed — while
+any *new* violation fails immediately.  ``--strict`` ignores the
+baseline (the promotion switch); ``--write-baseline`` regenerates the
+inventory from the current tree.
+
+Entries match on ``(rule, path, message)`` — deliberately *not* on
+line numbers, so unrelated edits above a baselined finding do not
+resurrect it; fixing the finding (or changing its message by touching
+the code) removes the match and the stale entry is simply inert.
+Baselines never apply to the ``repro.core``/``repro.fusion`` engine
+modules' FLOW findings policy-wise — see docs/CHECKING.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.check.engine import Finding, LintResult
+
+#: Schema version of the baseline file itself.
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule_id, _normalize(finding.path), finding.message)
+
+
+def _normalize(path: str) -> str:
+    return pathlib.PurePath(path).as_posix()
+
+
+def write_baseline(result: LintResult, path: pathlib.Path) -> int:
+    """Write every current finding (active + baselined) as the new baseline.
+
+    Returns the number of entries written.  The file is sorted and
+    stable so it diffs cleanly in review.
+    """
+    entries = sorted(
+        {
+            _key(finding)
+            for finding in (*result.findings, *result.baselined)
+        }
+    )
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: pathlib.Path) -> set[_Key]:
+    """Load a baseline file into a set of matching keys."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ValueError(f"{path}: not a simlint baseline file")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: set[_Key] = set()
+    for entry in document["entries"]:
+        keys.add((
+            str(entry["rule"]),
+            _normalize(str(entry["path"])),
+            str(entry["message"]),
+        ))
+    return keys
+
+
+def apply_baseline(result: LintResult, baseline: set[_Key]) -> LintResult:
+    """Split ``result.findings`` into active vs baselined, in place."""
+    active: list[Finding] = []
+    for finding in result.findings:
+        if _key(finding) in baseline:
+            result.baselined.append(finding)
+        else:
+            active.append(finding)
+    result.findings = active
+    return result

@@ -1,0 +1,381 @@
+"""simflow's control-flow graphs: intraprocedural CFGs over ``ast``.
+
+Each function (or method, or nested function) gets its own
+:class:`FunctionCFG` of :class:`BasicBlock` nodes.  Blocks hold the AST
+nodes "executed" in order — whole simple statements, the test
+expressions of ``if``/``while``, and synthetic ``Assign`` nodes for
+``for`` targets and ``with ... as`` bindings — so dataflow transfer
+functions can treat every block element uniformly.  Compound statement
+*bodies* are never stored inside another block's nodes: an ``ast.If``
+appearing in a block would smuggle its whole subtree past the solver.
+
+Edges carry a kind:
+
+* ``NORMAL``/``TRUE``/``FALSE``/``LOOP`` — ordinary control flow.  A
+  forward analysis propagates the block's *post* state along these.
+* ``EXCEPTION`` — an implicit may-raise edge from a block inside a
+  ``try`` to a handler entry.  Any statement may raise part-way
+  through, so forward analyses propagate the block's *pre* state.
+* ``RAISE`` — an explicit ``raise`` (or failing ``assert``) edge into
+  the virtual raise exit.
+
+Two virtual exits let rules distinguish outcomes: ``exit`` (normal
+return / fall-through) and ``raise_exit`` (explicit raise).  ``finally``
+bodies are built once; early ``return``/``raise`` inside the ``try``
+are routed through them, which slightly over-approximates paths (a
+must-analysis stays sound: it can only get stricter).
+
+The builder is deliberately approximate where Python is hairy
+(``finally`` re-entry, ``while/else`` after ``break``) — simflow is a
+linter, not a verifier — but every approximation adds paths rather
+than dropping them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Edge kinds.
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+LOOP = "loop"
+EXCEPTION = "exception"
+RAISE = "raise"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of AST nodes with labelled edges."""
+
+    id: int
+    nodes: list[ast.AST] = field(default_factory=list)
+    #: Outgoing edges as ``(block_id, kind)``.
+    succs: list[tuple[int, str]] = field(default_factory=list)
+    #: Incoming edges as ``(block_id, kind)``.
+    preds: list[tuple[int, str]] = field(default_factory=list)
+
+    def successor_ids(self, *kinds: str) -> list[int]:
+        """Successor ids, optionally restricted to the given kinds."""
+        if not kinds:
+            return [block_id for block_id, _kind in self.succs]
+        return [block_id for block_id, kind in self.succs if kind in kinds]
+
+
+class FunctionCFG:
+    """The control-flow graph of one function definition."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        blocks: dict[int, BasicBlock],
+        entry: int,
+        exit_id: int,
+        raise_exit: int,
+    ) -> None:
+        self.func = func
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_id
+        self.raise_exit = raise_exit
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def decorator_names(self) -> set[str]:
+        """Last name component of every decorator (``a.b.c`` -> ``c``)."""
+        names: set[str] = set()
+        for decorator in self.func.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            if isinstance(target, ast.Attribute):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+        return names
+
+    def reachable_ids(self) -> set[int]:
+        """Block ids reachable from the entry along any edge kind."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(self.blocks[block_id].successor_ids())
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FunctionCFG({self.name!r}, blocks={len(self.blocks)}, "
+            f"entry={self.entry}, exit={self.exit}, raise={self.raise_exit})"
+        )
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Yield every function definition in the tree (methods, nested defs)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionCFG:
+    """Build the intraprocedural CFG of one function definition."""
+    return _CfgBuilder().build(func)
+
+
+def _located_assign(target: ast.expr, value: ast.expr, at: ast.AST) -> ast.Assign:
+    """Synthetic ``target = value`` node carrying ``at``'s location."""
+    assign = ast.Assign(targets=[target], value=value)
+    ast.copy_location(assign, at)
+    ast.fix_missing_locations(assign)
+    return assign
+
+
+class _CfgBuilder:
+    """One-shot builder; tracks loop / handler / finally context stacks."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.raise_exit = self._new_block()
+        #: The block statements are currently appended to; ``None``
+        #: right after a terminator (return/raise/break/continue).
+        self.current: int | None = None
+        #: (continue-target, break-target) per enclosing loop.
+        self._loops: list[tuple[int, int]] = []
+        #: Handler entry blocks of each enclosing ``try`` with handlers.
+        self._handlers: list[list[int]] = []
+        #: Finally entry block of each enclosing ``try ... finally``.
+        self._finallies: list[int] = []
+        #: finally entry -> continuations it must forward ("exit"/"raise").
+        self._finally_pending: dict[int, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Graph primitives
+    # ------------------------------------------------------------------
+    def _new_block(self) -> int:
+        block = BasicBlock(self._next_id)
+        self.blocks[block.id] = block
+        self._next_id += 1
+        return block.id
+
+    def _edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        if (dst, kind) not in self.blocks[src].succs:
+            self.blocks[src].succs.append((dst, kind))
+            self.blocks[dst].preds.append((src, kind))
+
+    def _append(self, node: ast.AST) -> None:
+        assert self.current is not None
+        self.blocks[self.current].nodes.append(node)
+        # Anything inside a try may raise part-way: add one may-raise
+        # edge from this block to every active handler entry.
+        for handler_entries in self._handlers:
+            for handler_id in handler_entries:
+                self._edge(self.current, handler_id, EXCEPTION)
+
+    def _terminate_into(self, target: int, kind: str, continuation: str | None = None) -> None:
+        """Route control out of the current block (return/raise/...).
+
+        With an enclosing ``finally`` the edge goes there instead, and
+        the finally is marked to forward the continuation when built.
+        """
+        assert self.current is not None
+        if self._finallies and continuation is not None:
+            finally_id = self._finallies[-1]
+            self._edge(self.current, finally_id, NORMAL)
+            self._finally_pending.setdefault(finally_id, set()).add(continuation)
+        else:
+            self._edge(self.current, target, kind)
+        self.current = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionCFG:
+        self.current = self._new_block()
+        self._edge(self.entry, self.current)
+        self._visit_body(func.body)
+        if self.current is not None:
+            self._edge(self.current, self.exit)
+        return FunctionCFG(func, self.blocks, self.entry, self.exit, self.raise_exit)
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if self.current is None:
+                # Dead code after a terminator still gets analyzed, in
+                # an unreachable block (no incoming edges).
+                self.current = self._new_block()
+            self._visit_stmt(stmt)
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._visit_loop(stmt, header_node=stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_loop(
+                stmt, header_node=_located_assign(stmt.target, stmt.iter, stmt)
+            )
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._visit_match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._terminate_into(self.exit, NORMAL, continuation="exit")
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            self._terminate_into(self.raise_exit, RAISE, continuation="raise")
+        elif isinstance(stmt, ast.Break):
+            assert self._loops, "break outside loop"
+            self._terminate_into(self._loops[-1][1], NORMAL)
+        elif isinstance(stmt, ast.Continue):
+            assert self._loops, "continue outside loop"
+            self._terminate_into(self._loops[-1][0], LOOP)
+        elif isinstance(stmt, ast.Assert):
+            self._append(stmt)
+            assert self.current is not None
+            self._edge(self.current, self.raise_exit, RAISE)
+        else:
+            # Simple statements — and nested function/class definitions,
+            # whose bodies deliberately stay opaque (each function is
+            # analyzed by its own CFG).
+            self._append(stmt)
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(stmt.test)
+        cond_id = self.current
+        assert cond_id is not None
+        then_id = self._new_block()
+        self._edge(cond_id, then_id, TRUE)
+        self.current = then_id
+        self._visit_body(stmt.body)
+        then_end = self.current
+        else_id = self._new_block()
+        self._edge(cond_id, else_id, FALSE)
+        self.current = else_id
+        self._visit_body(stmt.orelse)
+        else_end = self.current
+        join_id = self._new_block()
+        if then_end is not None:
+            self._edge(then_end, join_id)
+        if else_end is not None:
+            self._edge(else_end, join_id)
+        self.current = join_id if (then_end is not None or else_end is not None) else None
+
+    def _visit_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, header_node: ast.AST
+    ) -> None:
+        assert self.current is not None
+        header_id = self._new_block()
+        self._edge(self.current, header_id)
+        self.current = header_id
+        self._append(header_node)
+        body_id = self._new_block()
+        after_id = self._new_block()
+        self._edge(header_id, body_id, TRUE)
+        self._loops.append((header_id, after_id))
+        self.current = body_id
+        self._visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, header_id, LOOP)
+        self._loops.pop()
+        if stmt.orelse:
+            else_id = self._new_block()
+            self._edge(header_id, else_id, FALSE)
+            self.current = else_id
+            self._visit_body(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after_id)
+        else:
+            self._edge(header_id, after_id, FALSE)
+        self.current = after_id
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        for item in stmt.items:
+            self._append(item.context_expr)
+            if item.optional_vars is not None:
+                self._append(
+                    _located_assign(item.optional_vars, item.context_expr, stmt)
+                )
+        self._visit_body(stmt.body)
+
+    def _visit_match(self, stmt: ast.Match) -> None:
+        self._append(stmt.subject)
+        subject_id = self.current
+        assert subject_id is not None
+        after_id = self._new_block()
+        for case in stmt.cases:
+            case_id = self._new_block()
+            self._edge(subject_id, case_id, TRUE)
+            self.current = case_id
+            self._visit_body(case.body)
+            if self.current is not None:
+                self._edge(self.current, after_id)
+        # No case may match.
+        self._edge(subject_id, after_id, FALSE)
+        self.current = after_id
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        assert self.current is not None
+        handler_ids = [self._new_block() for _ in stmt.handlers]
+        finally_id = self._new_block() if stmt.finalbody else None
+        if finally_id is not None:
+            self._finallies.append(finally_id)
+        if handler_ids:
+            self._handlers.append(handler_ids)
+        body_id = self._new_block()
+        self._edge(self.current, body_id)
+        self.current = body_id
+        self._visit_body(stmt.body)
+        if handler_ids:
+            self._handlers.pop()
+        body_end = self.current
+        if stmt.orelse and body_end is not None:
+            self.current = body_end
+            self._visit_body(stmt.orelse)
+            body_end = self.current
+        handler_ends: list[int | None] = []
+        for handler, handler_id in zip(stmt.handlers, handler_ids):
+            self.current = handler_id
+            if handler.type is not None:
+                self._append(handler.type)
+            self._visit_body(handler.body)
+            handler_ends.append(self.current)
+        if finally_id is not None:
+            self._finallies.pop()
+        after_id = self._new_block()
+        tails = [body_end, *handler_ends]
+        if finally_id is None:
+            for tail in tails:
+                if tail is not None:
+                    self._edge(tail, after_id)
+        else:
+            for tail in tails:
+                if tail is not None:
+                    self._edge(tail, finally_id)
+            self.current = finally_id
+            self._visit_body(stmt.finalbody)
+            finally_end = self.current
+            if finally_end is not None:
+                self._edge(finally_end, after_id)
+                for continuation in self._finally_pending.pop(finally_id, ()):  # noqa: B007
+                    if continuation == "exit":
+                        self._edge(finally_end, self.exit, NORMAL)
+                    else:
+                        self._edge(finally_end, self.raise_exit, RAISE)
+        self.current = after_id

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from repro.check.engine import lint_paths
+import pathlib
+
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+from repro.check.engine import engine_of, lint_paths, rule_catalog
 from repro.check.reporting import findings_to_json, render_findings
-from repro.check.rules import RULES
 
 DEFAULT_PATHS = ["src"]
 
@@ -13,14 +15,15 @@ def add_lint_parser(sub) -> None:
     """Register the ``lint`` subcommand on the main argparse tree."""
     lint = sub.add_parser(
         "lint",
-        help="run simlint, the simulation-invariant linter",
-        description="Statically enforce determinism, write-barrier and "
-                    "layering invariants. Exit 0 iff no findings.",
+        help="run simlint+simflow, the simulation-invariant analyzers",
+        description="Statically enforce determinism, write-barrier, "
+                    "layering and control-flow (S⊕F, ledger, frame-leak, "
+                    "taint) invariants. Exit 0 iff no findings.",
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files/directories to lint (default: src)")
     lint.add_argument("--rule", action="append", dest="rules", default=None,
-                      metavar="ID", choices=sorted(RULES),
+                      metavar="ID", choices=sorted(rule_catalog()),
                       help="check only this rule (repeatable)")
     lint.add_argument("--format", choices=["human", "json"], default="human",
                       help="report format (default human)")
@@ -28,14 +31,37 @@ def add_lint_parser(sub) -> None:
                       help="include each finding's rationale")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="accepted-findings file; matches are reported "
+                           "separately and do not fail the run")
+    lint.add_argument("--strict", action="store_true",
+                      help="ignore --baseline (promote baselined rules)")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="write the current findings as a new baseline "
+                           "and exit 0")
 
 
 def cmd_lint(args) -> int:
     if args.list_rules:
-        for rule_id, rule in RULES.items():
-            print(f"{rule_id}  [{rule.severity}]  {rule.summary}")
+        for rule_id, rule in rule_catalog().items():
+            print(
+                f"{rule_id}  [{rule.severity}/{engine_of(rule_id)}]  "
+                f"{rule.summary}"
+            )
         return 0
     result = lint_paths(args.paths or DEFAULT_PATHS, rule_ids=args.rules)
+    if args.baseline and not args.strict:
+        baseline_path = pathlib.Path(args.baseline)
+        if baseline_path.exists():
+            apply_baseline(result, load_baseline(baseline_path))
+        else:
+            print(f"warning: baseline file {baseline_path} not found; "
+                  "running as if empty")
+    if args.write_baseline:
+        count = write_baseline(result, pathlib.Path(args.write_baseline))
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.write_baseline}")
+        return 0
     if args.format == "json":
         print(findings_to_json(result), end="")
     else:

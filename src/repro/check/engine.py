@@ -1,5 +1,13 @@
 """simlint's engine: walk files, run rule checkers, filter suppressions.
 
+Two analyzers run behind this one engine:
+
+* the **ast** engine — line-local :class:`~repro.check.rules.Rule`
+  visitors (DET/MEM/LAY families);
+* the **flow** engine (simflow) — per-function CFG + dataflow checks
+  (:class:`~repro.check.flow_rules.FlowRule`, FLOW family), built on
+  :mod:`repro.check.cfg` and :mod:`repro.check.lattice`.
+
 The engine is deliberately free of repro.* runtime imports (it must be
 importable in a bare CI job) — rules communicate through
 :class:`LintContext`, and file paths are mapped to dotted module names
@@ -13,10 +21,25 @@ import pathlib
 import re
 from dataclasses import dataclass, field
 
+from repro.check.cfg import build_cfg, iter_functions
+from repro.check.flow_rules import FLOW_RULES, FlowRule
 from repro.check.rules import RULES, Rule
 
 #: ``# simlint: disable=DET001,MEM001`` (or ``disable=all``).
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+def rule_catalog() -> dict[str, Rule | FlowRule]:
+    """The merged rule catalog: ast rules first, then flow rules."""
+    catalog: dict[str, Rule | FlowRule] = {}
+    catalog.update(RULES)
+    catalog.update(FLOW_RULES)
+    return catalog
+
+
+def engine_of(rule_id: str) -> str:
+    """Which analyzer owns a rule id: ``"flow"`` or ``"ast"``."""
+    return "flow" if rule_id in FLOW_RULES else "ast"
 
 
 @dataclass(frozen=True)
@@ -29,8 +52,9 @@ class Finding:
     line: int
     col: int
     message: str
+    engine: str = "ast"  #: analyzer that produced it ("ast" or "flow")
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "rule": self.rule_id,
             "severity": self.severity,
@@ -38,6 +62,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "engine": self.engine,
         }
 
 
@@ -48,6 +73,8 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     errors: list[str] = field(default_factory=list)  #: unparseable files
+    #: findings matched (and silenced) by a ``--baseline`` file.
+    baselined: list[Finding] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -55,13 +82,14 @@ class LintResult:
 
 
 class LintContext:
-    """Per-file state shared by every rule's visitor."""
+    """Per-file state shared by every rule's visitor/checker."""
 
     def __init__(self, path: str, module: str, source_lines: list[str]) -> None:
         self.path = path
         self.module = module
         self.source_lines = source_lines
         self.findings: list[Finding] = []
+        self._catalog = rule_catalog()
 
     def report(self, rule_id: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
@@ -69,11 +97,12 @@ class LintContext:
             return
         self.findings.append(Finding(
             rule_id=rule_id,
-            severity=RULES[rule_id].severity,
+            severity=self._catalog[rule_id].severity,
             path=self.path,
             line=line,
             col=getattr(node, "col_offset", 0),
             message=message,
+            engine=engine_of(rule_id),
         ))
 
     def _suppressed(self, rule_id: str, line: int) -> bool:
@@ -93,24 +122,34 @@ def module_name_for(path: pathlib.Path) -> str:
 
     ``.../src/repro/mem/physmem.py`` -> ``repro.mem.physmem``;
     files outside a ``repro`` tree fall back to directory-based names
-    relative to their last ``src``/``tests``/``benchmarks`` anchor.
+    relative to their last ``src``/``tests``/``benchmarks``/
+    ``examples`` anchor.
     """
     parts = list(path.with_suffix("").parts)
     if parts and parts[-1] == "__init__":
         parts.pop()
-    for anchor in ("repro", "tests", "benchmarks"):
+    for anchor in ("repro", "tests", "benchmarks", "examples"):
         if anchor in parts:
             return ".".join(parts[parts.index(anchor):])
     return ".".join(parts[-2:]) if len(parts) >= 2 else (parts[0] if parts else "")
 
 
-def _selected_rules(rule_ids: list[str] | None) -> list[Rule]:
+def _selected_rules(
+    rule_ids: list[str] | None,
+) -> tuple[list[Rule], list[FlowRule]]:
+    """Split a rule selection into (ast rules, flow rules)."""
     if not rule_ids:
-        return list(RULES.values())
-    unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        return list(RULES.values()), list(FLOW_RULES.values())
+    unknown = [
+        rule_id for rule_id in rule_ids
+        if rule_id not in RULES and rule_id not in FLOW_RULES
+    ]
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
-    return [RULES[rule_id] for rule_id in rule_ids]
+    return (
+        [RULES[rule_id] for rule_id in rule_ids if rule_id in RULES],
+        [FLOW_RULES[rule_id] for rule_id in rule_ids if rule_id in FLOW_RULES],
+    )
 
 
 def lint_source(
@@ -124,9 +163,16 @@ def lint_source(
         module = module_name_for(pathlib.Path(path))
     tree = ast.parse(source, filename=path)
     ctx = LintContext(path, module, source.splitlines())
-    for rule in _selected_rules(rule_ids):
+    ast_rules, flow_rules = _selected_rules(rule_ids)
+    for rule in ast_rules:
         if rule.applies(module):
             rule.checker(ctx).visit(tree)
+    active_flow = [rule for rule in flow_rules if rule.applies(module)]
+    if active_flow:
+        for func in iter_functions(tree):
+            cfg = build_cfg(func)
+            for flow_rule in active_flow:
+                flow_rule.checker(ctx, cfg)
     ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
     return ctx.findings
 

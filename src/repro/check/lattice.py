@@ -1,0 +1,173 @@
+"""simflow's dataflow engine: pluggable lattices + a worklist solver.
+
+Two solvers cover the rule families:
+
+* :func:`solve_forward` — a forward may/must analysis over the
+  *variable-fact map* lattice: states map variable names to frozensets
+  of string facts, joined key-wise (union for may-analyses — the only
+  join the built-in rules need).  Transfer functions mutate a
+  :class:`MutableState` one block element at a time, so the same
+  transfer code runs the fixpoint *and* (with reporting enabled) the
+  final diagnostics pass.
+* :func:`solve_must_reach` — a backward all-paths reachability: "does
+  every path from here to the normal exit pass an *event*?"  This is
+  the dominator-or-finally check FLOW002 builds on.
+
+Forward propagation respects edge semantics: ``EXCEPTION`` edges carry
+the block's *pre* state (a statement may raise before completing), all
+other edges carry the *post* state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Mapping
+
+from repro.check.cfg import EXCEPTION, BasicBlock, FunctionCFG
+
+#: An immutable dataflow state: variable name -> set of facts.
+State = Mapping[str, frozenset[str]]
+
+EMPTY_STATE: dict[str, frozenset[str]] = {}
+
+
+def join(left: State, right: State) -> dict[str, frozenset[str]]:
+    """Key-wise union of two fact maps (the may-analysis join)."""
+    merged: dict[str, frozenset[str]] = dict(left)
+    for name, facts in right.items():
+        if name in merged:
+            merged[name] = merged[name] | facts
+        else:
+            merged[name] = facts
+    return merged
+
+
+class MutableState:
+    """A mutable view of one block's evolving state, for transfers."""
+
+    def __init__(self, initial: State) -> None:
+        self._facts: dict[str, frozenset[str]] = dict(initial)
+
+    def facts(self, name: str) -> frozenset[str]:
+        return self._facts.get(name, frozenset())
+
+    def has(self, name: str, fact: str) -> bool:
+        return fact in self._facts.get(name, frozenset())
+
+    def add(self, name: str, fact: str) -> None:
+        self._facts[name] = self._facts.get(name, frozenset()) | {fact}
+
+    def discard(self, name: str, fact: str) -> None:
+        existing = self._facts.get(name)
+        if existing is not None and fact in existing:
+            self._facts[name] = existing - {fact}
+
+    def replace(self, name: str, *facts: str) -> None:
+        self._facts[name] = frozenset(facts)
+
+    def clear(self, name: str) -> None:
+        self._facts.pop(name, None)
+
+    def items(self) -> list[tuple[str, frozenset[str]]]:
+        return list(self._facts.items())
+
+    def snapshot(self) -> dict[str, frozenset[str]]:
+        return dict(self._facts)
+
+
+#: A transfer function: apply one block element to the state.  When
+#: ``report`` is None the solver is computing the fixpoint; when set,
+#: this is the diagnostics pass and violations should be reported.
+Transfer = Callable[[ast.AST, MutableState], None]
+
+
+def apply_block(block: BasicBlock, state: State, transfer: Transfer) -> dict[str, frozenset[str]]:
+    """Run ``transfer`` over every node of ``block``; return post state."""
+    mutable = MutableState(state)
+    for node in block.nodes:
+        transfer(node, mutable)
+    return mutable.snapshot()
+
+
+def solve_forward(
+    cfg: FunctionCFG,
+    transfer: Transfer,
+    initial: State = EMPTY_STATE,
+) -> dict[int, dict[str, frozenset[str]]]:
+    """Forward worklist fixpoint; returns the *pre* state per block id.
+
+    Only blocks reachable from the entry get a state — unreachable
+    blocks are absent from the result, and callers should skip them in
+    diagnostics passes (facts there would be fabricated).
+    """
+    pre: dict[int, dict[str, frozenset[str]]] = {cfg.entry: dict(initial)}
+    worklist: list[int] = [cfg.entry]
+    while worklist:
+        block_id = worklist.pop()
+        block = cfg.block(block_id)
+        in_state = pre[block_id]
+        post = apply_block(block, in_state, transfer)
+        for succ_id, kind in block.succs:
+            flowed = in_state if kind == EXCEPTION else post
+            if succ_id in pre:
+                merged = join(pre[succ_id], flowed)
+                if merged == pre[succ_id]:
+                    continue
+                pre[succ_id] = merged
+            else:
+                pre[succ_id] = dict(flowed)
+            worklist.append(succ_id)
+    return pre
+
+
+def solve_must_reach(
+    cfg: FunctionCFG,
+    block_has_event: Callable[[BasicBlock], bool],
+) -> dict[int, bool]:
+    """All-paths event reachability, backward from the normal exit.
+
+    Returns ``reached_after[block]``: True iff every path that starts
+    *after* block's own nodes and ends at the normal exit passes
+    through a block containing the event.  Paths into the raise exit
+    are vacuously satisfied — an explicit ``raise`` is a deliberate
+    abort, not a completed operation that owes its ledger update.
+    ``EXCEPTION`` edges *do* participate: a handler that swallows the
+    exception and returns is a real path to the exit.
+    """
+    # Optimistic initialization (True), then strip to the greatest
+    # fixpoint with AND over successors.
+    reached_after: dict[int, bool] = {
+        block_id: True for block_id in cfg.blocks
+    }
+    # A block's "in" value: does every exit-bound path from the *start*
+    # of the block pass an event?
+    def reached_from_start(block_id: int) -> bool:
+        if block_id == cfg.exit:
+            return False
+        if block_id == cfg.raise_exit:
+            return True
+        block = cfg.block(block_id)
+        if block_has_event(block):
+            return True
+        return reached_after[block_id]
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id, block in cfg.blocks.items():
+            if block_id in (cfg.exit, cfg.raise_exit):
+                continue
+            successors = [succ for succ, _kind in block.succs]
+            if successors:
+                value = all(
+                    reached_from_start(succ)
+                    for succ in successors
+                    if succ != cfg.raise_exit
+                )
+            else:
+                # Dead-end block (no successors): treat as vacuous.
+                value = True
+            if value != reached_after[block_id]:
+                reached_after[block_id] = value
+                changed = True
+    return reached_after

@@ -1,18 +1,22 @@
-"""Reporters for simlint findings: human-readable and JSON."""
+"""Reporters for simlint/simflow findings: human-readable and JSON."""
 
 from __future__ import annotations
 
 import json
 
-from repro.check.engine import LintResult
-from repro.check.rules import RULES
+from repro.check.engine import LintResult, engine_of, rule_catalog
 
 #: Schema version of the JSON report (bump on breaking changes).
-JSON_SCHEMA_VERSION = 1
+#:
+#: * 1 — ast engine only.
+#: * 2 — dual-engine: per-finding ``engine`` field, ``engines`` rule
+#:   index, per-rule ``engine`` in the catalog, ``baseline`` block.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_findings(result: LintResult, verbose: bool = False) -> str:
     """Compiler-style one-line-per-finding report plus a summary."""
+    catalog = rule_catalog()
     lines: list[str] = []
     for finding in result.findings:
         lines.append(
@@ -20,30 +24,39 @@ def render_findings(result: LintResult, verbose: bool = False) -> str:
             f"{finding.severity} {finding.rule_id}: {finding.message}"
         )
         if verbose:
-            lines.append(f"    rationale: {RULES[finding.rule_id].rationale}")
+            lines.append(f"    rationale: {catalog[finding.rule_id].rationale}")
     for error in result.errors:
         lines.append(f"error: cannot lint {error}")
     counts: dict[str, int] = {}
     for finding in result.findings:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    suffix = (
+        f", {len(result.baselined)} baselined" if result.baselined else ""
+    )
     if result.findings:
         breakdown = ", ".join(
             f"{rule_id}: {counts[rule_id]}" for rule_id in sorted(counts)
         )
         lines.append(
             f"{len(result.findings)} finding(s) in "
-            f"{result.files_scanned} file(s) ({breakdown})"
+            f"{result.files_scanned} file(s) ({breakdown}){suffix}"
         )
     else:
-        lines.append(f"clean: {result.files_scanned} file(s), 0 findings")
+        lines.append(
+            f"clean: {result.files_scanned} file(s), 0 findings{suffix}"
+        )
     return "\n".join(lines)
 
 
 def findings_to_json(result: LintResult) -> str:
     """Stable JSON document (sorted keys) for CI consumption."""
+    catalog = rule_catalog()
     counts: dict[str, int] = {}
     for finding in result.findings:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    engines: dict[str, list[str]] = {"ast": [], "flow": []}
+    for rule_id in catalog:
+        engines[engine_of(rule_id)].append(rule_id)
     document = {
         "version": JSON_SCHEMA_VERSION,
         "files_scanned": result.files_scanned,
@@ -51,9 +64,19 @@ def findings_to_json(result: LintResult) -> str:
         "counts": counts,
         "findings": [finding.as_dict() for finding in result.findings],
         "errors": list(result.errors),
+        "engines": engines,
+        "baseline": {
+            "applied": bool(result.baselined),
+            "suppressed": len(result.baselined),
+            "findings": [finding.as_dict() for finding in result.baselined],
+        },
         "rules": {
-            rule_id: {"severity": rule.severity, "summary": rule.summary}
-            for rule_id, rule in RULES.items()
+            rule_id: {
+                "severity": rule.severity,
+                "summary": rule.summary,
+                "engine": engine_of(rule_id),
+            }
+            for rule_id, rule in catalog.items()
         },
     }
     return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -329,6 +329,7 @@ register(Rule(
 #: for every import statement outside ``if TYPE_CHECKING:`` blocks).
 LAYERING: dict[str, tuple[str, ...]] = {
     "repro.errors": ("repro",),
+    "repro.annotations": ("repro",),
     "repro.params": ("repro.mem", "repro.mmu", "repro.kernel",
                      "repro.fusion", "repro.core", "repro.runner"),
     "repro.mem": ("repro.mmu", "repro.cache", "repro.dram", "repro.kernel",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
+from repro.annotations import escapes_frame
 from repro.errors import OutOfMemoryError
 from repro.mem.physmem import FrameType
 
@@ -73,6 +74,7 @@ class RandomFramePool:
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
+    @escapes_frame
     def alloc(self, frame_type: FrameType = FrameType.ANON) -> int:
         """Draw one frame uniformly at random from the pool."""
         if not self._frames:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.annotations import escapes_frame
 from repro.errors import OutOfMemoryError
 from repro.fusion.avl import AvlTree
 from repro.fusion.base import FusionEngine
@@ -237,6 +238,7 @@ class WindowsPageFusion(FusionEngine):
     # ------------------------------------------------------------------
     # Unmerge
     # ------------------------------------------------------------------
+    @escapes_frame
     def _alloc_unmerge_frame(self) -> int:
         """Allocate a copy-on-write target from the *bottom* of memory.
 

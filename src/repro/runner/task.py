@@ -15,6 +15,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.annotations import artifact_boundary
 from repro.runner.artifacts import sanitize
 
 #: Task kinds understood by :func:`execute_task`.
@@ -102,6 +103,7 @@ class TaskSpec:
 # ---------------------------------------------------------------------------
 # Worker-side execution
 # ---------------------------------------------------------------------------
+@artifact_boundary
 def _run_experiment(spec: TaskSpec, seed: int) -> dict:
     from repro.harness.experiments import EXPERIMENTS, SCALES
 
@@ -118,6 +120,7 @@ def _run_experiment(spec: TaskSpec, seed: int) -> dict:
     }
 
 
+@artifact_boundary
 def _run_attack(spec: TaskSpec, seed: int) -> dict:
     from repro.attacks import ALL_ATTACKS
 
@@ -137,6 +140,7 @@ def _run_attack(spec: TaskSpec, seed: int) -> dict:
     }
 
 
+@artifact_boundary
 def _run_selftest(spec: TaskSpec, seed: int, attempt: int) -> dict:
     """Controlled misbehaviour for pool tests and crash-injection runs.
 

@@ -82,7 +82,8 @@ class TestTaskSpec:
 
         spec = TaskSpec.attack("translation")
         assert pickle.loads(pickle.dumps(spec)) == spec
-        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+        # In-process hashability check, never persisted.
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))  # simlint: disable=DET004
 
 
 class TestSelectors:

@@ -1,0 +1,384 @@
+"""Unit tests for simflow's CFG builder and dataflow solvers."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.check.cfg import (
+    EXCEPTION,
+    FALSE,
+    LOOP,
+    RAISE,
+    TRUE,
+    FunctionCFG,
+    build_cfg,
+    iter_functions,
+)
+from repro.check.lattice import (
+    MutableState,
+    join,
+    solve_forward,
+    solve_must_reach,
+)
+
+
+def cfg_of(source: str, name: str | None = None) -> FunctionCFG:
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = list(iter_functions(tree))
+    if name is not None:
+        funcs = [f for f in funcs if f.name == name]
+    (func,) = funcs
+    return build_cfg(func)
+
+
+def edge_kinds(cfg: FunctionCFG) -> set[str]:
+    return {
+        kind
+        for block in cfg.blocks.values()
+        for _succ, kind in block.succs
+    }
+
+
+def stmts_of(cfg: FunctionCFG) -> list[ast.AST]:
+    return [
+        node
+        for block_id in sorted(cfg.reachable_ids())
+        for node in cfg.block(block_id).nodes
+    ]
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCfgShapes:
+    def test_straight_line(self):
+        cfg = cfg_of("""
+            def f(x):
+                y = x + 1
+                return y
+        """)
+        reachable = cfg.reachable_ids()
+        assert cfg.exit in reachable
+        # Single linear path: every reachable non-virtual block has at
+        # most one non-exception successor.
+        assert all(
+            len(cfg.block(b).succs) <= 1
+            for b in reachable
+            if b not in (cfg.exit, cfg.raise_exit)
+        )
+
+    def test_if_else_has_true_false_edges_and_join(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        assert {TRUE, FALSE} <= edge_kinds(cfg)
+        # The return statement's block is reached from both arms.
+        ret_blocks = [
+            b for b in cfg.reachable_ids()
+            if any(isinstance(n, ast.Return) for n in cfg.block(b).nodes)
+        ]
+        (ret_block,) = ret_blocks
+        # Walk one step back: the join block has two predecessors.
+        preds = cfg.block(ret_block).preds
+        assert len(preds) >= 1
+
+    def test_while_has_loop_back_edge(self):
+        cfg = cfg_of("""
+            def f(x):
+                while x > 0:
+                    x -= 1
+                return x
+        """)
+        assert LOOP in edge_kinds(cfg)
+
+    def test_for_header_gets_synthetic_assign(self):
+        cfg = cfg_of("""
+            def f(items):
+                for item in items:
+                    use(item)
+        """)
+        synthetic = [
+            node for node in stmts_of(cfg)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "item"
+        ]
+        assert synthetic, "for-loop target must appear as a synthetic Assign"
+
+    def test_with_as_gets_synthetic_assign(self):
+        cfg = cfg_of("""
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+        """)
+        synthetic = [
+            node for node in stmts_of(cfg)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "fh"
+        ]
+        assert synthetic
+
+    def test_return_reaches_exit_not_raise_exit(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+        """)
+        assert cfg.exit in cfg.reachable_ids()
+
+    def test_raise_routes_to_raise_exit(self):
+        cfg = cfg_of("""
+            def f():
+                raise ValueError("boom")
+        """)
+        reachable = cfg.reachable_ids()
+        assert cfg.raise_exit in reachable
+        kinds = edge_kinds(cfg)
+        assert RAISE in kinds
+
+    def test_try_body_has_exception_edges_to_handler(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+        """)
+        assert EXCEPTION in edge_kinds(cfg)
+
+    def test_early_return_routes_through_finally(self):
+        cfg = cfg_of("""
+            def f(x):
+                try:
+                    if x:
+                        return 1
+                    other()
+                finally:
+                    cleanup()
+        """)
+        # cleanup() must lie on the path of the early return: the block
+        # containing the return must NOT have a direct edge to exit.
+        for block in cfg.blocks.values():
+            if any(isinstance(n, ast.Return) for n in block.nodes):
+                assert (cfg.exit, "normal") not in block.succs
+
+    def test_dead_code_is_unreachable(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        dead = [
+            b for b in cfg.blocks
+            if any(isinstance(n, ast.Assign) for n in cfg.block(b).nodes)
+        ]
+        assert dead
+        assert not set(dead) & cfg.reachable_ids()
+
+    def test_nested_defs_stay_opaque(self):
+        source = """
+            def outer():
+                def inner():
+                    return time_bomb()
+                return inner
+        """
+        tree = ast.parse(textwrap.dedent(source))
+        names = sorted(f.name for f in iter_functions(tree))
+        assert names == ["inner", "outer"]
+        outer = build_cfg(next(
+            f for f in iter_functions(tree) if f.name == "outer"
+        ))
+        # inner's body is not inlined into outer's blocks: the only
+        # top-level elements are the (opaque) def and the return.
+        top_level = [
+            type(node).__name__
+            for block_id in sorted(outer.reachable_ids())
+            for node in outer.block(block_id).nodes
+        ]
+        assert top_level == ["FunctionDef", "Return"]
+
+    def test_decorator_names(self):
+        cfg = cfg_of("""
+            @repro.annotations.escapes_frame
+            @functools.wraps(f)
+            def f():
+                pass
+        """)
+        assert cfg.decorator_names() == {"escapes_frame", "wraps"}
+
+
+# ----------------------------------------------------------------------
+# Solvers
+# ----------------------------------------------------------------------
+def _assign_transfer(node, state: MutableState) -> None:
+    """Tiny constant-ish analysis: x = <lit> sets a fact per target."""
+    if isinstance(node, ast.Assign) and isinstance(node.targets[0], ast.Name):
+        value = node.value
+        if isinstance(value, ast.Constant):
+            state.replace(node.targets[0].id, f"const:{value.value}")
+        else:
+            state.replace(node.targets[0].id, "unknown")
+
+
+class TestSolvers:
+    def test_forward_joins_branches(self):
+        cfg = cfg_of("""
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        pre = solve_forward(cfg, _assign_transfer)
+        assert pre[cfg.exit]["x"] == frozenset({"const:1", "const:2"})
+
+    def test_forward_loop_reaches_fixpoint(self):
+        cfg = cfg_of("""
+            def f(n):
+                x = 0
+                while n:
+                    x = 1
+                return x
+        """)
+        pre = solve_forward(cfg, _assign_transfer)
+        assert pre[cfg.exit]["x"] == frozenset({"const:0", "const:1"})
+
+    def test_exception_edges_carry_pre_state(self):
+        # The assignment inside try may raise *before* completing, so
+        # the handler must still see the pre-try fact for x.
+        cfg = cfg_of("""
+            def f():
+                x = 1
+                try:
+                    x = risky()
+                except ValueError:
+                    return x
+                return x
+        """)
+        pre = solve_forward(cfg, _assign_transfer)
+        handler_blocks = [
+            b for b in cfg.reachable_ids()
+            if any(
+                kind == EXCEPTION for _src, kind in cfg.block(b).preds
+            )
+        ]
+        assert handler_blocks
+        assert any(
+            "const:1" in pre[b].get("x", frozenset()) for b in handler_blocks
+        )
+
+    def test_unreachable_blocks_have_no_state(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        pre = solve_forward(cfg, _assign_transfer)
+        assert set(pre) <= cfg.reachable_ids()
+
+    def test_must_reach_all_paths(self):
+        cfg = cfg_of("""
+            def f(c):
+                op()
+                if c:
+                    charge()
+                else:
+                    charge()
+                return
+        """)
+        def has_charge(block):
+            return any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "charge"
+                for n in block.nodes
+            )
+        reached = solve_must_reach(cfg, has_charge)
+        op_block = next(
+            b for b in cfg.reachable_ids()
+            if any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "op"
+                for n in cfg.block(b).nodes
+            )
+        )
+        assert reached[op_block] is True
+
+    def test_must_reach_fails_on_skipping_branch(self):
+        cfg = cfg_of("""
+            def f(c):
+                op()
+                if c:
+                    return
+                charge()
+                return
+        """)
+        def has_charge(block):
+            return any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "charge"
+                for n in block.nodes
+            )
+        reached = solve_must_reach(cfg, has_charge)
+        op_block = next(
+            b for b in cfg.reachable_ids()
+            if any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "op"
+                for n in cfg.block(b).nodes
+            )
+        )
+        assert reached[op_block] is False
+
+    def test_must_reach_raise_paths_vacuous(self):
+        cfg = cfg_of("""
+            def f(c):
+                op()
+                if c:
+                    raise ValueError("abort")
+                charge()
+                return
+        """)
+        def has_charge(block):
+            return any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "charge"
+                for n in block.nodes
+            )
+        reached = solve_must_reach(cfg, has_charge)
+        op_block = next(
+            b for b in cfg.reachable_ids()
+            if any(
+                isinstance(n, ast.Expr)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Name)
+                and n.value.func.id == "op"
+                for n in cfg.block(b).nodes
+            )
+        )
+        assert reached[op_block] is True
+
+    def test_join_is_keywise_union(self):
+        left = {"x": frozenset({"a"}), "y": frozenset({"b"})}
+        right = {"x": frozenset({"c"})}
+        merged = join(left, right)
+        assert merged == {
+            "x": frozenset({"a", "c"}),
+            "y": frozenset({"b"}),
+        }

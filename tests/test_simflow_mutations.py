@@ -1,0 +1,174 @@
+"""Mutation meta-test: the analyzer is itself under test.
+
+Each case plants one realistic bug — a single edit — into the *real*
+engine sources (``vusion.py``, ``ksm.py``, ``buddy.py``, ``task.py``)
+and asserts the matching FLOW rule catches it.  The dual is pinned
+too: the pristine tree must analyze completely clean under the flow
+rules, with zero FLOW suppressions in ``repro.core``/``repro.fusion``.
+Together these bound both false negatives and false positives on the
+code that matters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.check import lint_paths, lint_source, render_findings
+from repro.check.engine import module_name_for
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+VUSION = SRC / "repro" / "core" / "vusion.py"
+KSM = SRC / "repro" / "fusion" / "ksm.py"
+BUDDY = SRC / "repro" / "mem" / "buddy.py"
+TASK = SRC / "repro" / "runner" / "task.py"
+
+FLOW_IDS = ("FLOW001", "FLOW002", "FLOW003", "FLOW004")
+
+
+def mutate(path: pathlib.Path, old: str, new: str) -> str:
+    """One-edit mutant of a real source file; the anchor must be unique."""
+    source = path.read_text(encoding="utf-8")
+    occurrences = source.count(old)
+    assert occurrences == 1, (
+        f"mutation anchor matched {occurrences}x in {path.name}; the "
+        f"meta-test needs updating: {old!r}"
+    )
+    return source.replace(old, new, 1)
+
+
+def flow_findings(source: str, path: pathlib.Path):
+    return [
+        finding
+        for finding in lint_source(
+            source, path=str(path), module=module_name_for(path)
+        )
+        if finding.rule_id in FLOW_IDS
+    ]
+
+
+MUTANTS = [
+    pytest.param(
+        VUSION,
+        "kernel.map_page(process, vaddr, node.pfn, self._fused_flags)",
+        "kernel.map_page(process, vaddr, node.pfn, "
+        "PteFlags.USER | PteFlags.WRITABLE)",
+        "FLOW001",
+        id="vusion-merge-maps-shared-node-accessible",
+    ),
+    pytest.param(
+        KSM,
+        "kernel.map_page(process, vaddr, node.pfn, self._fused_flags())",
+        "kernel.map_page(process, vaddr, node.pfn, "
+        "PteFlags.USER | PteFlags.WRITABLE)",
+        "FLOW001",
+        id="ksm-merge-skips-cache-disable-path",
+    ),
+    pytest.param(
+        VUSION,
+        "kernel.map_page(process, vaddr, new_pfn, self._fused_flags)",
+        "kernel.map_page(process, vaddr, new_pfn, "
+        "PteFlags.USER | PteFlags.WRITABLE)",
+        "FLOW001",
+        id="vusion-fake-merge-pins-accessible-frame",
+    ),
+    pytest.param(
+        VUSION,
+        "        kernel.map_page(process, vaddr, node.pfn, self._fused_flags)\n"
+        "        self.stats.merges += 1",
+        "        kernel.map_page(process, vaddr, node.pfn, self._fused_flags)\n"
+        "        if refcount:\n"
+        "            return\n"
+        "        self.stats.merges += 1",
+        "FLOW002",
+        id="vusion-merge-early-return-drops-charge",
+    ),
+    pytest.param(
+        KSM,
+        "        self._maybe_release_node(node_pfn)\n"
+        "        kernel.emit(\"fusion:unmerge\", pid=process.pid, "
+        "vaddr=vaddr, pfn=node_pfn)",
+        "        self._maybe_release_node(node_pfn)",
+        "FLOW002",
+        id="ksm-unmerge-drops-ledger-event",
+    ),
+    pytest.param(
+        VUSION,
+        "        kernel.map_page(\n"
+        "            process, vaddr, new_pfn, PteFlags.USER | PteFlags.WRITABLE\n"
+        "        )",
+        "        kernel.map_page(\n"
+        "            process, vaddr, node_pfn, PteFlags.USER | PteFlags.WRITABLE\n"
+        "        )",
+        "FLOW003",
+        id="vusion-copy-on-access-leaks-fresh-frame",
+    ),
+    pytest.param(
+        BUDDY,
+        "        pfn = self._pop_free(current)\n",
+        "        pfn = self._pop_free(current)\n"
+        "        if self.alloc_count < 0:\n"
+        "            return -1\n",
+        "FLOW003",
+        id="buddy-alloc-early-return-leaks-pfn",
+    ),
+    pytest.param(
+        TASK,
+        "    return _run_selftest(spec, seed, attempt)",
+        "    return {**_run_selftest(spec, seed, attempt), "
+        "\"finished_at\": time.time()}",
+        "FLOW004",
+        id="execute-task-returns-wall-clock",
+    ),
+]
+
+
+class TestMutantsAreCaught:
+    @pytest.mark.parametrize("path, old, new, expected_rule", MUTANTS)
+    def test_mutant_is_flagged_by_intended_rule(
+        self, path, old, new, expected_rule
+    ):
+        mutant = mutate(path, old, new)
+        findings = flow_findings(mutant, path)
+        assert expected_rule in {f.rule_id for f in findings}, (
+            f"mutant not caught; flow findings: "
+            f"{[(f.rule_id, f.line, f.message) for f in findings]}"
+        )
+
+    @pytest.mark.parametrize("path, old, new, expected_rule", MUTANTS)
+    def test_pristine_counterpart_is_clean(self, path, old, new, expected_rule):
+        # The un-mutated file must not trip the rule the mutant trips —
+        # otherwise the catch above proves nothing.
+        source = path.read_text(encoding="utf-8")
+        findings = flow_findings(source, path)
+        assert findings == [], render_findings_short(findings)
+
+
+def render_findings_short(findings) -> str:
+    return "; ".join(
+        f"{f.rule_id}@{f.path}:{f.line}: {f.message}" for f in findings
+    )
+
+
+class TestPristineTree:
+    def test_src_is_flow_clean(self):
+        result = lint_paths([str(SRC)], rule_ids=list(FLOW_IDS))
+        assert result.errors == []
+        assert result.findings == [], render_findings(result)
+
+    def test_no_flow_suppressions_in_core_or_fusion(self):
+        # The acceptance bar: the engine packages pass FLOW001-004 on
+        # their own merits, not via escape hatches.
+        pattern = re.compile(r"#\s*simlint:\s*disable=[^\n]*(FLOW\d+|all)")
+        offenders = []
+        for package in ("core", "fusion"):
+            for path in sorted((SRC / "repro" / package).rglob("*.py")):
+                for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1
+                ):
+                    if pattern.search(line):
+                        offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert offenders == []

@@ -1,0 +1,535 @@
+"""simflow rule tests: good + bad fixtures per FLOW rule, annotations,
+per-line suppressions, the v2 JSON schema (golden file) and baselines."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.check import (
+    FLOW_RULES,
+    apply_baseline,
+    findings_to_json,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.engine import LintResult
+from repro.check.reporting import JSON_SCHEMA_VERSION
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "simlint_schema_v2.golden.json"
+
+
+def lint(source: str, module: str, rules: list[str] | None = None):
+    return lint_source(textwrap.dedent(source), module=module, rule_ids=rules)
+
+
+def rule_ids(findings) -> list[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — S ⊕ F discipline
+# ----------------------------------------------------------------------
+class TestFlow001Discipline:
+    BAD_MAP_SHARED_ACCESSIBLE = """
+        def merge(self, kernel, process, vaddr, pfn):
+            self.tracker.pin_fused(pfn)
+            kernel.map_page(process, vaddr, pfn, PteFlags.USER | PteFlags.WRITABLE)
+            self.stats.merges += 1
+    """
+    BAD_PIN_WHILE_ACCESSIBLE = """
+        def fake_merge(self, kernel, process, vaddr, content):
+            new_pfn = self.pool.alloc(owner="fusion")
+            kernel.physmem.write(new_pfn, content)
+            kernel.map_page(process, vaddr, new_pfn, PteFlags.USER | PteFlags.WRITABLE)
+            self.tracker.pin_fused(new_pfn)
+            self.stats.merges += 1
+    """
+    BAD_ONE_BRANCH = """
+        def merge(self, kernel, process, vaddr, pfn, fast):
+            self.tracker.pin_fused(pfn)
+            if fast:
+                kernel.map_page(process, vaddr, pfn, PteFlags.USER | PteFlags.PRESENT)
+            else:
+                kernel.map_page(process, vaddr, pfn, self._fused_flags)
+            self.stats.merges += 1
+    """
+    GOOD_FUSED_PATH = """
+        def merge(self, kernel, process, vaddr, pfn):
+            self.tracker.pin_fused(pfn)
+            kernel.map_page(process, vaddr, pfn, self._fused_flags)
+            self.stats.merges += 1
+    """
+    GOOD_COPY_ON_ACCESS = """
+        def copy_on_access(self, kernel, process, vaddr, node_pfn):
+            new_pfn = kernel.buddy.alloc()
+            kernel.physmem.copy_page_cached(node_pfn, new_pfn)
+            kernel.map_page(process, vaddr, new_pfn, PteFlags.USER | PteFlags.WRITABLE)
+            self.stats.breaks += 1
+    """
+    GOOD_STABLE_NODE_FUSED = """
+        def promote(self, kernel, process, vaddr, node):
+            kernel.map_page(process, vaddr, node.pfn, FUSED_FLAGS_NO_CD)
+            self.stats.merges += 1
+    """
+    BAD_STABLE_NODE_ACCESSIBLE = """
+        def promote(self, kernel, process, vaddr, node):
+            kernel.map_page(process, vaddr, node.pfn, PteFlags.USER | PteFlags.WRITABLE)
+            self.stats.merges += 1
+    """
+
+    def test_map_shared_accessible_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_MAP_SHARED_ACCESSIBLE, "repro.core.vusion"
+        )) == ["FLOW001"]
+
+    def test_pin_while_accessible_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_PIN_WHILE_ACCESSIBLE, "repro.fusion.ksm"
+        )) == ["FLOW001"]
+
+    def test_single_bad_branch_flagged(self):
+        findings = lint(self.BAD_ONE_BRANCH, "repro.core.vusion")
+        assert rule_ids(findings) == ["FLOW001"]
+
+    def test_fused_path_clean(self):
+        assert lint(self.GOOD_FUSED_PATH, "repro.core.vusion") == []
+
+    def test_copy_on_access_clean(self):
+        assert lint(self.GOOD_COPY_ON_ACCESS, "repro.core.vusion") == []
+
+    def test_stable_node_fused_clean(self):
+        assert lint(self.GOOD_STABLE_NODE_FUSED, "repro.fusion.ksm") == []
+
+    def test_stable_node_accessible_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_STABLE_NODE_ACCESSIBLE, "repro.fusion.ksm"
+        )) == ["FLOW001"]
+
+    def test_out_of_scope_module_ignored(self):
+        assert lint(self.BAD_MAP_SHARED_ACCESSIBLE, "repro.workloads.base") == []
+
+
+# ----------------------------------------------------------------------
+# FLOW002 — charge/ledger exception safety
+# ----------------------------------------------------------------------
+class TestFlow002LedgerSafety:
+    BAD_EARLY_RETURN = """
+        def merge(self, kernel, process, vaddr, pfn, refcount):
+            kernel.map_page(process, vaddr, pfn, self._fused_flags)
+            if refcount:
+                return
+            self.stats.merges += 1
+    """
+    BAD_SWALLOWED_EXCEPTION = """
+        def unmerge(self, kernel, process, vaddr):
+            kernel.unmap_page(process, vaddr)
+            try:
+                risky()
+            except ValueError:
+                return
+            self.stats.unmerges += 1
+    """
+    GOOD_CHARGE_ALL_PATHS = """
+        def merge(self, kernel, process, vaddr, pfn, refcount):
+            kernel.map_page(process, vaddr, pfn, self._fused_flags)
+            if refcount:
+                self.kernel.emit("fusion:merge", pfn=pfn)
+                return
+            self.stats.merges += 1
+    """
+    GOOD_CHARGE_IN_FINALLY = """
+        def unmerge(self, kernel, process, vaddr):
+            try:
+                kernel.unmap_page(process, vaddr)
+                risky()
+            finally:
+                self.clock.advance(1)
+    """
+    GOOD_RAISE_EXEMPT = """
+        def rerandomize(self, kernel, process, vaddr, pfn, refcount):
+            kernel.map_page(process, vaddr, pfn, self._fused_flags)
+            if refcount:
+                raise RuntimeError("refcount corrupt")
+            self.stats.rerandomizations += 1
+    """
+
+    def test_early_return_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_EARLY_RETURN, "repro.core.vusion"
+        )) == ["FLOW002"]
+
+    def test_swallowed_exception_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_SWALLOWED_EXCEPTION, "repro.fusion.ksm"
+        )) == ["FLOW002"]
+
+    def test_charge_on_every_path_clean(self):
+        assert lint(self.GOOD_CHARGE_ALL_PATHS, "repro.core.vusion") == []
+
+    def test_charge_in_finally_clean(self):
+        assert lint(self.GOOD_CHARGE_IN_FINALLY, "repro.fusion.ksm") == []
+
+    def test_explicit_raise_exempt(self):
+        assert lint(self.GOOD_RAISE_EXEMPT, "repro.core.vusion") == []
+
+    def test_out_of_scope_module_ignored(self):
+        # The kernel facade maps pages without owning ledger charges.
+        assert lint(self.BAD_EARLY_RETURN, "repro.kernel.core") == []
+
+
+# ----------------------------------------------------------------------
+# FLOW003 — frame-handle escape/leak
+# ----------------------------------------------------------------------
+class TestFlow003FrameLeak:
+    BAD_LEAK_ON_BRANCH = """
+        def grab(self, kernel, order):
+            pfn = kernel.buddy.alloc(order)
+            if order > 3:
+                return None
+            kernel.map_page(1, 2, pfn, FUSED_FLAGS)
+            self.stats.merges += 1
+    """
+    BAD_DISCARDED_RESULT = """
+        def grab(self, buddy):
+            buddy.alloc()
+    """
+    BAD_OVERWRITTEN = """
+        def grab(self, buddy):
+            pfn = buddy.alloc()
+            pfn = buddy.alloc()
+            return pfn
+    """
+    GOOD_RETURNED = """
+        def grab(self, buddy):
+            pfn = buddy.alloc()
+            return pfn
+    """
+    GOOD_STORED = """
+        def grab(self, buddy):
+            pfn = buddy.alloc()
+            self._frames.append(pfn)
+    """
+    GOOD_OOM_BREAK = """
+        def refill(self, buddy):
+            while True:
+                try:
+                    pfn = buddy.alloc()
+                except OutOfMemoryError:
+                    break
+                self.frames.append(pfn)
+    """
+    GOOD_ESCAPES_FRAME = """
+        @escapes_frame
+        def alloc_frame(self, buddy):
+            pfn = buddy.alloc()
+            if self._sanitize:
+                self._audit(pfn)
+            return pfn
+    """
+
+    def test_leak_on_branch_flagged(self):
+        findings = lint(self.BAD_LEAK_ON_BRANCH, "repro.core.vusion")
+        assert rule_ids(findings) == ["FLOW003"]
+        # The finding anchors at the alloc, so the leak is suppressible
+        # (and attributable) where the handle is created.
+        assert findings[0].line == 3
+
+    def test_discarded_result_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_DISCARDED_RESULT, "repro.mem.buddy"
+        )) == ["FLOW003"]
+
+    def test_overwrite_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_OVERWRITTEN, "repro.mem.buddy"
+        )) == ["FLOW003"]
+
+    def test_returned_clean(self):
+        assert lint(self.GOOD_RETURNED, "repro.mem.buddy") == []
+
+    def test_stored_clean(self):
+        assert lint(self.GOOD_STORED, "repro.mem.random_pool") == []
+
+    def test_alloc_in_try_with_oom_break_clean(self):
+        assert lint(self.GOOD_OOM_BREAK, "repro.mem.random_pool") == []
+
+    def test_escapes_frame_annotation_skips_function(self):
+        assert lint(self.GOOD_ESCAPES_FRAME, "repro.mem.buddy") == []
+
+    def test_out_of_scope_module_ignored(self):
+        assert lint(self.BAD_DISCARDED_RESULT, "repro.harness.experiments") == []
+
+
+# ----------------------------------------------------------------------
+# FLOW004 — taint into artifacts
+# ----------------------------------------------------------------------
+class TestFlow004Taint:
+    BAD_RETURNED_TIMESTAMP = """
+        import time
+
+        def execute_task(spec, seed):
+            started = time.time()
+            payload = {"started": started}
+            return payload
+    """
+    BAD_BOUNDARY_DECORATED = """
+        import time
+
+        @artifact_boundary
+        def run_experiment(spec, seed):
+            return {"wall": time.monotonic()}
+    """
+    BAD_WRITTEN_ARTIFACT = """
+        import time
+
+        def save(path):
+            stamp = time.time_ns()
+            path.write_text(str(stamp))
+    """
+    BAD_GLOBAL_RNG = """
+        import random
+
+        def execute_task(spec, seed):
+            return {"jitter": random.random()}
+    """
+    GOOD_LOCAL_TIMING = """
+        import time
+
+        def wait(spec):
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                pass
+            return {"spec": spec.name}
+    """
+    GOOD_SEEDED_RNG = """
+        import random
+
+        def execute_task(spec, seed):
+            rng = random.Random(seed)
+            return {"value": rng.random()}
+    """
+    GOOD_UNDECORATED_HELPER = """
+        import time
+
+        def helper():
+            return time.time()
+    """
+
+    def test_returned_timestamp_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_RETURNED_TIMESTAMP, "repro.runner.task"
+        )) == ["FLOW004"]
+
+    def test_artifact_boundary_decorator_makes_returns_sinks(self):
+        # DET001 also fires on the literal call; isolate the flow rule.
+        assert rule_ids(lint(
+            self.BAD_BOUNDARY_DECORATED, "repro.harness.experiments",
+            rules=["FLOW004"],
+        )) == ["FLOW004"]
+
+    def test_artifact_write_flagged(self):
+        assert rule_ids(lint(
+            self.BAD_WRITTEN_ARTIFACT, "repro.runner.artifacts"
+        )) == ["FLOW004"]
+
+    def test_global_rng_flagged(self):
+        # DET002 also fires on the literal call; isolate the flow rule.
+        assert rule_ids(lint(
+            self.BAD_GLOBAL_RNG, "repro.runner.task", rules=["FLOW004"]
+        )) == ["FLOW004"]
+
+    def test_local_timing_clean(self):
+        assert lint(self.GOOD_LOCAL_TIMING, "repro.runner.pool") == []
+
+    def test_seeded_rng_clean(self):
+        assert lint(self.GOOD_SEEDED_RNG, "repro.runner.task") == []
+
+    def test_undecorated_helper_returns_are_not_sinks(self):
+        assert lint(self.GOOD_UNDECORATED_HELPER, "repro.runner.pool") == []
+
+    def test_out_of_scope_module_ignored(self):
+        # DET001 owns wall-clock use in core; FLOW004 stays out.
+        assert lint(
+            self.BAD_RETURNED_TIMESTAMP, "repro.core.vusion",
+            rules=["FLOW004"],
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions on flow findings
+# ----------------------------------------------------------------------
+class TestFlowSuppressions:
+    def test_per_line_disable_silences_flow_finding(self):
+        source = textwrap.dedent("""
+            import time
+
+            def execute_task(spec, seed):
+                t = time.time()
+                return {"t": t}  # simlint: disable=FLOW004
+        """)
+        assert lint_source(source, module="repro.runner.task") == []
+
+    def test_disable_all_silences_flow_finding(self):
+        source = textwrap.dedent("""
+            def grab(self, buddy):
+                buddy.alloc()  # simlint: disable=all
+        """)
+        assert lint_source(source, module="repro.mem.buddy") == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = textwrap.dedent("""
+            def grab(self, buddy):
+                buddy.alloc()  # simlint: disable=FLOW001
+        """)
+        findings = lint_source(source, module="repro.mem.buddy")
+        assert rule_ids(findings) == ["FLOW003"]
+
+    def test_flow003_suppressible_at_alloc_site(self):
+        source = textwrap.dedent("""
+            def grab(self, kernel, order):
+                pfn = kernel.buddy.alloc(order)  # simlint: disable=FLOW003
+                if order > 3:
+                    return None
+                return pfn
+        """)
+        assert lint_source(source, module="repro.mem.buddy") == []
+
+    def test_rule_selection_runs_only_flow_rule(self):
+        source = textwrap.dedent("""
+            import time
+
+            def execute_task(spec, seed):
+                seed2 = hash("x")
+                return {"t": time.time(), "s": seed2}
+        """)
+        only_flow = lint_source(
+            source, module="repro.runner.task", rule_ids=["FLOW004"]
+        )
+        assert rule_ids(only_flow) == ["FLOW004"]
+
+
+# ----------------------------------------------------------------------
+# JSON schema v2 (golden file) across both engines
+# ----------------------------------------------------------------------
+FIXTURE_BOTH_ENGINES = """\
+import time
+
+def execute_task(spec, seed):
+    bad_seed = hash(spec.name)
+    return {"seed": bad_seed, "wall": time.time()}
+"""
+
+
+def make_dual_engine_result() -> LintResult:
+    findings = lint_source(
+        FIXTURE_BOTH_ENGINES,
+        path="src/repro/runner/fixture.py",
+        module="repro.runner.fixture",
+    )
+    return LintResult(findings=findings, files_scanned=1)
+
+
+class TestJsonSchemaV2:
+    def test_schema_version_bumped(self):
+        assert JSON_SCHEMA_VERSION == 2
+
+    def test_both_engines_report(self):
+        document = json.loads(findings_to_json(make_dual_engine_result()))
+        engines = {f["engine"] for f in document["findings"]}
+        assert engines == {"ast", "flow"}
+        assert document["version"] == 2
+        assert set(document["engines"]["flow"]) == set(FLOW_RULES)
+        assert all(
+            document["rules"][rule_id]["engine"] == "flow"
+            for rule_id in FLOW_RULES
+        )
+
+    def test_golden_document(self):
+        document = findings_to_json(make_dual_engine_result())
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(document, encoding="utf-8")
+        assert GOLDEN.exists(), (
+            "golden file missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        assert document == GOLDEN.read_text(encoding="utf-8"), (
+            "JSON report changed: if intentional, bump JSON_SCHEMA_VERSION "
+            "as needed and regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        result = make_dual_engine_result()
+        baseline_path = tmp_path / "baseline.json"
+        count = write_baseline(result, baseline_path)
+        assert count == len(result.findings)
+        keys = load_baseline(baseline_path)
+        fresh = make_dual_engine_result()
+        apply_baseline(fresh, keys)
+        assert fresh.findings == []
+        assert len(fresh.baselined) == count
+        assert fresh.clean
+
+    def test_new_finding_not_masked(self, tmp_path):
+        result = make_dual_engine_result()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(result, baseline_path)
+        keys = load_baseline(baseline_path)
+        # Same violations in a *different file* must stay active: the
+        # baseline keys on (rule, path, message).
+        elsewhere = lint_source(
+            FIXTURE_BOTH_ENGINES,
+            path="src/repro/runner/other.py",
+            module="repro.runner.other",
+        )
+        fresh = LintResult(findings=elsewhere, files_scanned=1)
+        apply_baseline(fresh, keys)
+        assert fresh.findings and not fresh.baselined
+        assert not fresh.clean
+
+    def test_line_moves_do_not_resurrect(self, tmp_path):
+        result = make_dual_engine_result()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(result, baseline_path)
+        keys = load_baseline(baseline_path)
+        shifted = lint_source(
+            "# a new leading comment\n# another\n" + FIXTURE_BOTH_ENGINES,
+            path="src/repro/runner/fixture.py",
+            module="repro.runner.fixture",
+        )
+        fresh = LintResult(findings=shifted, files_scanned=1)
+        apply_baseline(fresh, keys)
+        assert fresh.findings == []
+
+    def test_bad_baseline_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            load_baseline(bogus)
+
+    def test_cli_baseline_and_strict(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "repro" / "runner"
+        target.mkdir(parents=True)
+        mod = target / "fixture.py"
+        mod.write_text(FIXTURE_BOTH_ENGINES)
+        baseline = tmp_path / "lint-baseline.json"
+        assert main([
+            "lint", str(mod), "--write-baseline", str(baseline)
+        ]) == 0
+        assert main(["lint", str(mod), "--baseline", str(baseline)]) == 0
+        assert main([
+            "lint", str(mod), "--baseline", str(baseline), "--strict"
+        ]) == 1
+        capsys.readouterr()

@@ -11,6 +11,7 @@ import textwrap
 import pytest
 
 from repro.check import (
+    FLOW_RULES,
     RULES,
     findings_to_json,
     lint_paths,
@@ -259,9 +260,10 @@ class TestReports:
         assert document["counts"] == {"DET004": 1}
         (finding,) = document["findings"]
         assert set(finding) == {
-            "rule", "severity", "path", "line", "col", "message"
+            "rule", "severity", "path", "line", "col", "message", "engine"
         }
-        assert set(document["rules"]) == set(RULES)
+        assert finding["engine"] == "ast"
+        assert set(document["rules"]) == set(RULES) | set(FLOW_RULES)
 
     def test_human_report_mentions_location_and_rule(self):
         text = render_findings(self.make_result())
