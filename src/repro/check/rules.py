@@ -285,8 +285,18 @@ register(Rule(
 # MEM001 — no write-barrier bypass on PhysicalMemory internals
 # ----------------------------------------------------------------------
 _PHYSMEM_INTERNALS = {
+    # PhysicalMemory columns and counters.
     "_contents", "_refcount", "_types", "_rmap", "_versions",
-    "_fusion_pinned", "_free_lists", "_free_blocks",
+    "_fusion_pinned", "_backing", "_cids", "_in_use", "_type_counts",
+    "_mapped_cache",
+    # ContentArena id tables, refcounts and mutators: interning is part
+    # of the write barrier, so only repro.mem may retain/release ids.
+    "_ids", "_payloads", "_digest_cache", "_free_ids",
+    "_intern", "_retain", "_release",
+    # FingerprintCache internals.
+    "_digests", "_generations",
+    # BuddyAllocator free lists and counter.
+    "_free_lists", "_free_blocks", "_free_frames",
 }
 
 
@@ -319,6 +329,53 @@ register(Rule(
     ),
     checker=_PhysmemInternalsVisitor,
     applies_to=_not_in_packages("repro.mem", "tests", "benchmarks"),
+))
+
+
+# ----------------------------------------------------------------------
+# MEM002 — no raw content-bytes comparison in fusion hot paths
+# ----------------------------------------------------------------------
+_CONTENT_READ_METHODS = {"read", "peek_content"}
+
+
+class _ContentCompareVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for operand in (node.left, *node.comparators):
+                if (
+                    isinstance(operand, ast.Call)
+                    and isinstance(operand.func, ast.Attribute)
+                    and operand.func.attr in _CONTENT_READ_METHODS
+                ):
+                    self.ctx.report(
+                        "MEM002", node,
+                        f"comparing .{operand.func.attr}(...) content bytes "
+                        "directly in an engine hot path; use "
+                        "physmem.same_content(pfn, content) or bucket by "
+                        "physmem.merge_key(pfn) (O(1) on the columnar store)",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="MEM002",
+    severity="error",
+    summary="engines compare content identity via same_content/merge_key, "
+            "not raw read() bytes",
+    rationale=(
+        "Content identity — not content bytes — is the primitive dedup "
+        "operates on. A raw read(pfn) == content comparison in a scan "
+        "loop is O(page) per probe and bypasses the columnar store's "
+        "hash-consed fast path (interning makes same_content an object-"
+        "identity check), silently reintroducing the per-frame costs "
+        "the arena removed."
+    ),
+    checker=_ContentCompareVisitor,
+    applies_to=_in_packages("repro.fusion", "repro.core"),
 ))
 
 

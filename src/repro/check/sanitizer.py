@@ -291,6 +291,49 @@ class FrameSan:
                 )
         if fusion is not None:
             problems.extend(self.check_fusion_accounting(fusion))
+        problems.extend(self.check_arena_accounting())
+        return problems
+
+    def check_arena_accounting(self) -> list[str]:
+        """Cross-check the content arena against the frame column.
+
+        Columnar store only (no-op on legacy): every live content id's
+        refcount must equal the number of frames currently holding it
+        (plus the arena's own permanent reference on the zero id), and
+        no frame may point at a recycled slot — the arena-level
+        equivalents of the refcount-vs-rmap checks above.
+        """
+        physmem = self.physmem
+        arena = getattr(physmem, "arena", None)
+        if arena is None:
+            return []
+        problems: list[str] = []
+        held: dict[int, int] = {}
+        for pfn in range(physmem.num_frames):
+            cid = physmem.content_id(pfn)
+            held[cid] = held.get(cid, 0) + 1
+        for cid in sorted(held):
+            expected = held[cid] + (1 if cid == arena.zero_id else 0)
+            actual = arena.refcount(cid)
+            if actual != expected:
+                problems.append(
+                    f"arena cid {cid}: refcount {actual} != {held[cid]} "
+                    f"holding frame(s)"
+                    + (" + 1 permanent zero ref" if cid == arena.zero_id else "")
+                )
+        live = set(arena.live_ids())
+        expected_live = set(held) | {arena.zero_id}
+        if live != expected_live:
+            stray = sorted(live - expected_live)
+            dead = sorted(expected_live - live)
+            if stray:
+                problems.append(
+                    f"arena entries live with no holding frame: {stray}"
+                )
+            if dead:
+                problems.append(
+                    f"frames point at recycled arena slots: {dead}"
+                )
         return problems
 
     def check_fusion_accounting(self, fusion: "FusionEngine") -> list[str]:

@@ -239,6 +239,10 @@ class Vusion(FusionEngine):
     def _fake_merge(self, process: "Process", vaddr: int, content: PageContent) -> None:
         kernel = self.kernel
         new_pfn = self.pool.alloc(FrameType.ANON)
+        # ``content`` was just read from the scanned frame, so on the
+        # columnar store this write is a pure intern hit: the new frame
+        # retains the same content id and no bytes are copied.  The
+        # simulated copy_page charge below is unaffected.
         kernel.physmem.write(new_pfn, content)
         kernel.clock.advance(kernel.costs.copy_page)
         old_pfn, refcount, _old_pte = kernel.unmap_page(process, vaddr)

@@ -209,7 +209,7 @@ class Ksm(FusionEngine):
             or walk.pte.fused
             or walk.pte.reserved
             or walk.frame_for(match.vaddr) != match.pfn
-            or kernel.physmem.read(match.pfn) != content
+            or not kernel.physmem.same_content(match.pfn, content)
         ):
             # The unstable tree went stale underneath us.
             self.unstable.discard(match)

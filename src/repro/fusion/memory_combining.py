@@ -49,7 +49,11 @@ class CompressedStore:
     """Content-addressed compressed page store.
 
     One zlib-compressed blob per distinct content; reference counts
-    track how many evicted page slots point at each blob.
+    track how many evicted page slots point at each blob.  Keys are the
+    payloads handed out by ``physmem.read`` — on the columnar store
+    those are interned, so the dict probes below resolve equal contents
+    through ``bytes`` hash caching and the identity fast path rather
+    than byte-by-byte comparison.
     """
 
     def __init__(self) -> None:

@@ -128,28 +128,37 @@ class WindowsPageFusion(FusionEngine):
             self.stats.pages_scanned += pages
             return
         rec = self._pass_cache.begin_record()
-        candidates, digests = self._gather_candidates()
+        candidates, contents, digests = self._gather_candidates()
         pages = sum(len(v) for v in candidates.values())
         self.stats.pages_scanned += pages
-        self._create_nodes(candidates, digests)
-        self._merge_candidates(candidates, digests)
+        self._create_nodes(candidates, contents, digests)
+        self._merge_candidates(candidates, contents, digests)
         self._pass_cache.commit(rec, pages)
 
     def _gather_candidates(
         self,
     ) -> tuple[
-        dict[PageContent, list[tuple["Process", int, int]]], dict[PageContent, int]
+        dict[object, list[tuple["Process", int, int]]],
+        dict[object, PageContent],
+        dict[object, int],
     ]:
-        """Hash every candidate page, grouped by content.
+        """Hash every candidate page, grouped by content identity.
 
         WPF computes the hash of every physical page that is a merge
         candidate; sorting-by-hash is applied later when the new stable
-        frames are allocated.  The returned ``digests`` map serves the
-        per-content hash from the frame fingerprint cache.
+        frames are allocated.  Pages are bucketed by
+        :meth:`~repro.mem.physmem.PhysicalMemory.merge_key` — a content
+        id on the columnar store, the content bytes on the legacy one;
+        either way the partition (and its encounter order) is exactly
+        the group-by-content of the original implementation.  The
+        returned ``digests`` map serves the per-content hash from the
+        frame fingerprint cache, one batch lookup per unique content.
         """
         kernel = self.kernel
-        candidates: dict[PageContent, list[tuple["Process", int, int]]] = {}
-        digests: dict[PageContent, int] = {}
+        physmem = kernel.physmem
+        candidates: dict[object, list[tuple["Process", int, int]]] = {}
+        contents: dict[object, PageContent] = {}
+        first_pfns: list[int] = []
         for process in sorted(kernel.processes, key=lambda p: p.pid):
             if not process.alive:
                 continue
@@ -160,67 +169,73 @@ class WindowsPageFusion(FusionEngine):
                         continue
                     pfn = walk.frame_for(vaddr)
                     kernel.clock.advance(kernel.costs.checksum_page)
-                    content = kernel.physmem.read(pfn)
-                    holders = candidates.get(content)
+                    key = physmem.merge_key(pfn)
+                    holders = candidates.get(key)
                     if holders is None:
-                        candidates[content] = [(process, vaddr, pfn)]
-                        digests[content] = kernel.physmem.digest(pfn)
+                        candidates[key] = [(process, vaddr, pfn)]
+                        contents[key] = physmem.read(pfn)
+                        first_pfns.append(pfn)
                     else:
                         holders.append((process, vaddr, pfn))
-        return candidates, digests
+        digests = dict(zip(candidates, physmem.digests_many(first_pfns)))
+        return candidates, contents, digests
 
     def _create_nodes(
         self,
-        candidates: dict[PageContent, list[tuple["Process", int, int]]],
-        digests: dict[PageContent, int],
+        candidates: dict[object, list[tuple["Process", int, int]]],
+        contents: dict[object, PageContent],
+        digests: dict[object, int],
     ) -> None:
         """Allocate new stable frames for duplicated contents, hash order."""
         kernel = self.kernel
         trees = self._trees
-        new_contents = [
-            content
-            for content, holders in candidates.items()
+        new_keys = [
+            key
+            for key, holders in candidates.items()
             if len(holders) >= 2
-            and trees[digests[content] % self.num_trees].search(content) is None
+            and trees[digests[key] % self.num_trees].search(contents[key]) is None
         ]
-        new_contents.sort(key=digests.__getitem__)
+        new_keys.sort(key=digests.__getitem__)
         try:
-            frames = self._allocator.alloc_batch(len(new_contents))
+            frames = self._allocator.alloc_batch(len(new_keys))
         except OutOfMemoryError:
             return
-        for content, pfn in zip(new_contents, frames):
+        for key, pfn in zip(new_keys, frames):
+            content = contents[key]
             kernel.physmem.write(pfn, content)
             kernel.clock.advance(kernel.costs.copy_page)
             node = WpfNode(pfn, content)
             kernel.physmem.pin_fused(pfn)
             kernel.physmem.get_ref(pfn)
-            trees[digests[content] % self.num_trees].insert(content, node)
+            trees[digests[key] % self.num_trees].insert(content, node)
             self._nodes_by_pfn[pfn] = node
             self.stats.stable_nodes_created += 1
             self.stats.merge_frame_log.append(pfn)
 
     def _merge_candidates(
         self,
-        candidates: dict[PageContent, list[tuple["Process", int, int]]],
-        digests: dict[PageContent, int],
+        candidates: dict[object, list[tuple["Process", int, int]]],
+        contents: dict[object, PageContent],
+        digests: dict[object, int],
     ) -> None:
         """Remap candidates onto stable frames, per process, by vaddr."""
         kernel = self.kernel
-        per_process: dict[int, list[tuple[int, PageContent, int]]] = {}
-        for content, holders in candidates.items():
-            digest = digests[content]
+        per_process: dict[int, list[tuple[int, object, int]]] = {}
+        for key, holders in candidates.items():
+            digest = digests[key]
             for process, vaddr, _pfn in holders:
                 per_process.setdefault(process.pid, []).append(
-                    (vaddr, content, digest)
+                    (vaddr, key, digest)
                 )
         for pid in sorted(per_process):
             process = kernel.find_process(pid)
             if process is None or not process.alive:
                 continue
-            # Each vaddr appears once, so the extra tuple fields cannot
-            # perturb the original (vaddr, content) sort order.
-            for vaddr, content, digest in sorted(per_process[pid]):
-                node = self._trees[digest % self.num_trees].search(content)
+            # Each vaddr appears once, so sorting never compares the
+            # key/digest fields and the original (vaddr, content)
+            # order is preserved on both store backends.
+            for vaddr, key, digest in sorted(per_process[pid]):
+                node = self._trees[digest % self.num_trees].search(contents[key])
                 if node is None:
                     continue
                 walk = process.address_space.page_table.walk(vaddr)

@@ -67,7 +67,9 @@ class Kernel:
         self.costs = self.spec.costs
         self.clock = Clock()
         self.physmem = PhysicalMemory(
-            self.spec.total_frames, fingerprint_enabled=self.spec.fingerprint_enabled
+            self.spec.total_frames,
+            fingerprint_enabled=self.spec.fingerprint_enabled,
+            frame_store=self.spec.frame_store,
         )
         self.buddy = BuddyAllocator(RESERVED_FRAMES, self.spec.total_frames - RESERVED_FRAMES)
         #: FrameSan (None unless ``REPRO_SANITIZE=1`` or ``sanitize=True``):

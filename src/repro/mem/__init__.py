@@ -1,5 +1,6 @@
 """Physical-memory substrate: page contents, frames and the buddy allocator."""
 
+from repro.mem.arena import ContentArena, ZERO_ID
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.content import (
     PageContent,
@@ -9,13 +10,16 @@ from repro.mem.content import (
     make_content,
     random_content,
 )
-from repro.mem.physmem import FrameType, PhysicalMemory
+from repro.mem.physmem import FRAME_STORES, FrameType, PhysicalMemory
 
 __all__ = [
     "BuddyAllocator",
+    "ContentArena",
+    "FRAME_STORES",
     "FrameType",
     "PageContent",
     "PhysicalMemory",
+    "ZERO_ID",
     "ZERO_PAGE",
     "content_digest",
     "flip_bit",

@@ -35,6 +35,10 @@ class BuddyAllocator:
         self._free_lists: list[list[int]] = [[] for _ in range(MAX_ORDER + 1)]
         #: head pfn -> order, for every free block.
         self._free_blocks: dict[int, int] = {}
+        #: Free-frame total, maintained by the free-list primitives so
+        #: :meth:`free_frames` is O(1) (it used to walk every order's
+        #: list — a per-sample cost on large machines).
+        self._free_frames = 0
         self.alloc_count = 0
         self.free_count = 0
         #: Optional FrameSan hooks (set by the kernel under
@@ -59,14 +63,17 @@ class BuddyAllocator:
     def _insert_free(self, pfn: int, order: int) -> None:
         self._free_lists[order].append(pfn)
         self._free_blocks[pfn] = order
+        self._free_frames += 1 << order
 
     def _remove_free(self, pfn: int, order: int) -> None:
         self._free_lists[order].remove(pfn)
         del self._free_blocks[pfn]
+        self._free_frames -= 1 << order
 
     def _pop_free(self, order: int) -> int:
         pfn = self._free_lists[order].pop()
         del self._free_blocks[pfn]
+        self._free_frames -= 1 << order
         return pfn
 
     # ------------------------------------------------------------------
@@ -182,8 +189,8 @@ class BuddyAllocator:
         return self._block_containing(pfn) is not None
 
     def free_frames(self) -> int:
-        """Total number of free frames."""
-        return sum((1 << order) * len(lst) for order, lst in enumerate(self._free_lists))
+        """Total number of free frames (O(1), counter-backed)."""
+        return self._free_frames
 
     def iter_free_frames_desc(self) -> Iterator[int]:
         """Yield free frames from the top of memory downward.

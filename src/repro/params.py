@@ -222,6 +222,13 @@ class MachineSpec:
     #: Pure Python-level optimisation: simulated time and behaviour are
     #: identical either way (tests/test_fingerprint_determinism.py).
     fingerprint_enabled: bool = True
+    #: Content backend for PhysicalMemory: "columnar" (hash-consed
+    #: arena, the default) or "legacy" (one bytes object per frame,
+    #: kept as the differential reference).  None defers to the
+    #: REPRO_FRAME_STORE environment variable, then "columnar".
+    #: Another pure representation choice: simulated time, merges and
+    #: artifacts are byte-identical (tests/test_store_differential.py).
+    frame_store: str | None = None
 
     @property
     def total_bytes(self) -> int:

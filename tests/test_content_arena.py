@@ -1,0 +1,192 @@
+"""Unit and property tests for the hash-consed content arena.
+
+The arena is the foundation the columnar frame store stands on, so its
+contract is pinned down directly: interning deduplicates, references
+count exactly, slots recycle the moment the last holder releases, the
+zero page is permanently live, and digests are computed at most once
+per live unique payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.arena import ContentArena, ZERO_ID
+from repro.mem.content import ZERO_PAGE, content_digest, tagged_content
+
+
+def payload(tag: int) -> bytes:
+    return tagged_content("arena", tag)
+
+
+class TestInterning:
+    def test_equal_payloads_share_one_id(self):
+        arena = ContentArena()
+        first = arena._intern(payload(1))
+        second = arena._intern(payload(1))
+        assert first == second
+        assert arena.refcount(first) == 2
+        assert arena.stats.intern_hits == 1
+        assert arena.stats.intern_misses == 1
+
+    def test_distinct_payloads_get_distinct_ids(self):
+        arena = ContentArena()
+        ids = {arena._intern(payload(tag)) for tag in range(8)}
+        assert len(ids) == 8
+        assert ZERO_ID not in ids
+        assert arena.unique_contents() == 9  # + the zero page
+
+    def test_interning_the_zero_page_reuses_zero_id(self):
+        arena = ContentArena()
+        assert arena._intern(ZERO_PAGE) == ZERO_ID
+        assert arena.refcount(ZERO_ID) == 2  # permanent self-ref + ours
+
+    def test_payload_roundtrip_is_canonical(self):
+        arena = ContentArena()
+        content = payload(3)
+        cid = arena._intern(content)
+        assert arena.payload(cid) == content
+        # Hash-consing: a later equal intern returns the *same object*,
+        # which is what makes frame-content equality an identity check.
+        assert arena.payload(arena._intern(payload(3))) is arena.payload(cid)
+
+    def test_lookup_does_not_retain(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(4))
+        assert arena.lookup(payload(4)) == cid
+        assert arena.refcount(cid) == 1
+        assert arena.lookup(payload(5)) is None
+
+
+class TestRefcounting:
+    def test_release_to_zero_recycles_the_slot(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._release(cid)
+        assert arena.refcount(cid) == 0
+        assert arena.lookup(payload(1)) is None
+        with pytest.raises(ValueError, match="not live"):
+            arena.payload(cid)
+
+    def test_recycled_slot_is_reused_before_growing(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._release(cid)
+        assert arena._intern(payload(2)) == cid
+        assert arena.payload(cid) == payload(2)
+        assert arena.stats.entries_freed == 1
+
+    def test_retain_counts_in_bulk(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._retain(cid, 5)
+        assert arena.refcount(cid) == 6
+        for _ in range(6):
+            arena._release(cid)
+        assert arena.refcount(cid) == 0
+
+    def test_retain_of_dead_id_raises(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._release(cid)
+        with pytest.raises(ValueError, match="dead content id"):
+            arena._retain(cid)
+
+    def test_release_underflow_raises(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._release(cid)
+        with pytest.raises(ValueError, match="underflow"):
+            arena._release(cid)
+
+    def test_zero_page_is_permanently_live(self):
+        arena = ContentArena()
+        # A store holding N zero frames retains N times and may release
+        # them all; the arena's own reference keeps the entry alive.
+        arena._retain(ZERO_ID, 3)
+        for _ in range(3):
+            arena._release(ZERO_ID)
+        assert arena.refcount(ZERO_ID) == 1
+        assert arena.payload(ZERO_ID) == ZERO_PAGE
+        assert arena.zero_id == ZERO_ID
+
+
+class TestDigests:
+    def test_digest_matches_content_digest(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        assert arena.digest(cid) == content_digest(payload(1))
+
+    def test_digest_computed_once_per_unique_payload(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena._intern(payload(1))
+        for _ in range(5):
+            arena.digest(cid)
+        assert arena.stats.digests_computed == 1
+
+    def test_peek_digest_never_computes(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        assert arena.peek_digest(cid) is None
+        assert arena.stats.digests_computed == 0
+        arena.digest(cid)
+        assert arena.peek_digest(cid) == content_digest(payload(1))
+
+    def test_recycling_clears_the_cached_digest(self):
+        arena = ContentArena()
+        cid = arena._intern(payload(1))
+        arena.digest(cid)
+        arena._release(cid)
+        assert arena._intern(payload(2)) == cid  # slot reused
+        assert arena.peek_digest(cid) is None
+        assert arena.digest(cid) == content_digest(payload(2))
+        assert arena.stats.digests_computed == 2
+
+
+# ----------------------------------------------------------------------
+# Property: the arena tracks a reference-counted multiset exactly
+# ----------------------------------------------------------------------
+
+arena_op = st.one_of(
+    st.tuples(st.just("intern"), st.integers(0, 5)),
+    st.tuples(st.just("release"), st.integers(0, 5)),
+    st.tuples(st.just("digest"), st.integers(0, 5)),
+)
+
+
+@given(ops=st.lists(arena_op, min_size=1, max_size=200))
+def test_arena_matches_multiset_model(ops):
+    """Random intern/release/digest traffic against a dict model."""
+    arena = ContentArena()
+    model: dict[bytes, int] = {}  # payload -> outstanding references
+    for action, tag in ops:
+        content = payload(tag)
+        if action == "intern":
+            cid = arena._intern(content)
+            model[content] = model.get(content, 0) + 1
+            assert arena.payload(cid) == content
+        elif action == "release" and content in model:
+            arena._release(arena.lookup(content))
+            model[content] -= 1
+            if model[content] == 0:
+                del model[content]
+        elif action == "digest" and content in model:
+            assert arena.digest(arena.lookup(content)) == content_digest(content)
+
+        # Live set and per-payload refcounts mirror the model exactly.
+        assert arena.unique_contents() == len(model) + 1
+        assert len(arena) == len(model) + 1
+        for held, refs in model.items():
+            assert arena.refcount(arena.lookup(held)) == refs
+        assert arena.refcount(ZERO_ID) == 1
+        live = set(arena.live_ids())
+        assert ZERO_ID in live
+        assert len(live) == len(model) + 1
+
+    # Digests are never computed twice for a payload while it stays live
+    # — the counter is bounded by distinct (payload, lifetime) pairs.
+    assert arena.stats.digests_computed <= (
+        arena.stats.intern_misses + 1  # + possible zero-page digest
+    )

@@ -85,15 +85,16 @@ def assert_cache_fresh(physmem: PhysicalMemory) -> None:
         )
 
 
+@pytest.mark.parametrize("frame_store", ["legacy", "columnar"])
 @settings(
     max_examples=50,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(ops=st.lists(raw_op, min_size=1, max_size=120))
-def test_raw_operation_sequences(ops):
+def test_raw_operation_sequences(frame_store, ops):
     """Digest cache and dirty views stay exact under arbitrary ops."""
-    physmem = PhysicalMemory(RAW_FRAMES)
+    physmem = PhysicalMemory(RAW_FRAMES, frame_store=frame_store)
     view = physmem.register_dirty_view("test")
     expected_dirty: set[int] = set()
     expected_generations = [0] * RAW_FRAMES
@@ -115,7 +116,17 @@ def test_raw_operation_sequences(ops):
             # Rowhammer must invalidate the digest but never the
             # charge-recharge version (one-way discharge model).
             assert physmem.version(a) == version_before
-            assert physmem.fingerprints.peek(a) is None
+            peeked = physmem.fingerprints.peek(a)
+            if frame_store == "legacy":
+                # Per-frame cache: the flip must drop the entry.
+                assert peeked is None
+            else:
+                # Arena cache: the flip moved the frame to the flipped
+                # payload's content id; a digest is only present if that
+                # exact payload was digested before — never stale.
+                assert peeked is None or peeked == content_digest(
+                    physmem.peek_content(a)
+                )
         elif action == "digest":
             assert physmem.digest(a) == content_digest(physmem.read(a))
         else:  # drain
@@ -134,11 +145,14 @@ def test_raw_operation_sequences(ops):
         assert physmem.digest(pfn) == first == content_digest(physmem.read(pfn))
 
 
+@pytest.mark.parametrize("frame_store", ["legacy", "columnar"])
 @settings(max_examples=25, deadline=None)
 @given(ops=st.lists(raw_op, min_size=1, max_size=60))
-def test_disabled_cache_is_pure_recomputation(ops):
+def test_disabled_cache_is_pure_recomputation(frame_store, ops):
     """With fingerprints disabled nothing is cached, digests stay right."""
-    physmem = PhysicalMemory(RAW_FRAMES, fingerprint_enabled=False)
+    physmem = PhysicalMemory(
+        RAW_FRAMES, fingerprint_enabled=False, frame_store=frame_store
+    )
     for action, a, b in ops:
         if action == "write":
             physmem.write(a, tagged_content("raw", b))
@@ -237,7 +251,7 @@ def test_engine_interleavings_keep_digests_fresh(engine_name, ops):
     for action, proc_index, page_index, salt in ops:
         process = processes[proc_index]
         vaddr = vmas[proc_index].start + page_index * PAGE_SIZE
-        contents_before = list(physmem._contents)
+        contents_before = physmem.contents_snapshot()
         gens_before = [physmem.generation(pfn) for pfn in range(physmem.num_frames)]
         if action == "write":
             process.write(vaddr, tagged_content("w", proc_index, page_index, salt))
@@ -257,7 +271,7 @@ def test_engine_interleavings_keep_digests_fresh(engine_name, ops):
 
     # Settle all daemons, then one last full-freshness sweep including
     # an explicit digest of every mapped frame (forces cache fills).
-    contents_before = list(physmem._contents)
+    contents_before = physmem.contents_snapshot()
     gens_before = [physmem.generation(pfn) for pfn in range(physmem.num_frames)]
     kernel.idle(SECOND)
     assert_cache_fresh(physmem)

@@ -187,6 +187,86 @@ class TestMem001FrameStoreInternals:
         """
         assert lint(clean, "repro.fusion.ksm", ["MEM001"]) == []
 
+    ARENA_BAD = """
+        def leak_ref(physmem, content):
+            return physmem.arena._intern(content)
+    """
+
+    def test_flags_arena_intern_outside_mem(self):
+        findings = lint(self.ARENA_BAD, "repro.fusion.wpf", ["MEM001"])
+        assert rule_ids(findings) == ["MEM001"]
+        assert "_intern" in findings[0].message
+
+    def test_flags_arena_refcount_tables(self):
+        findings = lint(
+            """
+            def poke(arena, cid):
+                arena._refcount[cid] += 1
+                del arena._ids[arena._payloads[cid]]
+            """,
+            "repro.core.vusion", ["MEM001"],
+        )
+        assert rule_ids(findings) == ["MEM001"] * 3
+
+    def test_arena_read_api_is_clean(self):
+        clean = """
+            def inspect(physmem, pfn):
+                cid = physmem.content_id(pfn)
+                return physmem.arena.refcount(cid), physmem.merge_key(pfn)
+        """
+        assert lint(clean, "repro.fusion.wpf", ["MEM001"]) == []
+
+    def test_repro_mem_may_intern(self):
+        assert lint(self.ARENA_BAD, "repro.mem.physmem", ["MEM001"]) == []
+
+
+# ----------------------------------------------------------------------
+# MEM002 — raw content comparison in fusion hot paths
+# ----------------------------------------------------------------------
+class TestMem002ContentCompare:
+    BAD = """
+        def revalidate(kernel, pfn, content):
+            if kernel.physmem.read(pfn) != content:
+                return None
+            return pfn
+    """
+
+    def test_flags_read_comparison_in_fusion(self):
+        findings = lint(self.BAD, "repro.fusion.ksm", ["MEM002"])
+        assert rule_ids(findings) == ["MEM002"]
+        assert "same_content" in findings[0].message
+
+    def test_flags_equality_too(self):
+        findings = lint(
+            "ok = physmem.read(a) == physmem.read(b)\n",
+            "repro.core.vusion", ["MEM002"],
+        )
+        assert rule_ids(findings) == ["MEM002"]
+
+    def test_same_content_is_clean(self):
+        clean = """
+            def revalidate(kernel, pfn, content):
+                if not kernel.physmem.same_content(pfn, content):
+                    return None
+                return pfn
+        """
+        assert lint(clean, "repro.fusion.ksm", ["MEM002"]) == []
+
+    def test_merge_key_bucketing_is_clean(self):
+        clean = """
+            def bucket(physmem, pfns):
+                groups = {}
+                for pfn in pfns:
+                    groups.setdefault(physmem.merge_key(pfn), []).append(pfn)
+                return groups
+        """
+        assert lint(clean, "repro.fusion.wpf", ["MEM002"]) == []
+
+    def test_tests_and_mem_exempt(self):
+        for module in ("tests.test_physmem", "repro.mem.physmem",
+                       "repro.attacks.dedup"):
+            assert lint(self.BAD, module, ["MEM002"]) == []
+
 
 # ----------------------------------------------------------------------
 # LAY001 — import layering
