@@ -1,0 +1,120 @@
+"""Scan-pass latency gate: batch kernel vs scalar reference at 256k frames.
+
+One fleet-scale scan pass asks every question the fusion engines ask
+per round — zero-page sweep, duplicate-content grouping, generation
+deltas against a snapshot, a full digest sweep and the refcount
+reduction — over all 262 144 frames of a populated columnar machine.
+The scalar kernel answers with per-frame Python loops (one method
+dispatch per frame per question); the batch kernel answers from
+zero-copy NumPy views of the cid / generation / refcount columns.
+
+The gate: the vectorized pass must be at least 5x faster, with every
+answer equal element-for-element (asserted before timing).  Results
+land in ``BENCH_scan_pass.json`` at the repository root so CI history
+tracks the ratio; the pure-``array`` fallback is measured and reported
+too, but only NumPy is gated.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.mem.content import ZERO_PAGE, tagged_content
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.scankernel import HAVE_NUMPY, BatchScanKernel, ScalarScanKernel
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_scan_pass.json"
+)
+
+FRAMES = 256 * 1024
+UNIQUE_CONTENTS = 64  # duplicate-heavy, like a consolidated fleet
+ZERO_STRIDE = 10      # ~10% zero pages
+REPS = 3
+MIN_SPEEDUP = 5.0
+
+
+def build_machine() -> PhysicalMemory:
+    physmem = PhysicalMemory(FRAMES)
+    for pfn in range(FRAMES):
+        if pfn % ZERO_STRIDE == 0:
+            physmem.write(pfn, ZERO_PAGE)
+        else:
+            physmem.write(
+                pfn, tagged_content("scanpass", pfn % UNIQUE_CONTENTS)
+            )
+        if pfn % 3 == 0:
+            physmem.get_ref(pfn)
+    return physmem
+
+
+def scan_pass(kernel, pfns, snapshot) -> tuple:
+    """One composite scan pass; returns every answer for equality checks."""
+    return (
+        kernel.zero_frames(pfns),
+        list(kernel.group_by_content(pfns).values()),
+        kernel.generation_snapshot(pfns),
+        kernel.changed_since(pfns, snapshot),
+        kernel.digest_sweep(pfns),
+        kernel.refcount_sum(pfns),
+    )
+
+
+def best_of(kernel, pfns, snapshot) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        scan_pass(kernel, pfns, snapshot)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="gate targets the NumPy backend")
+def test_vectorized_scan_pass_at_least_5x():
+    physmem = build_machine()
+    pfns = range(FRAMES)  # whole-memory sweeps arrive as ranges
+    scalar = ScalarScanKernel(physmem)
+    batch = BatchScanKernel(physmem, use_numpy=True)
+    fallback = BatchScanKernel(physmem, use_numpy=False)
+    # Perturb a slice of generations after the snapshot so the
+    # generation-delta filter has real positives to keep.
+    snapshot = scalar.generation_snapshot(pfns)
+    for pfn in range(0, FRAMES, 1000):
+        physmem.write(pfn, tagged_content("scanpass-dirty", pfn))
+
+    # Conformance before speed: every answer identical on all backends.
+    reference = scan_pass(scalar, pfns, snapshot)
+    assert scan_pass(batch, pfns, snapshot) == reference
+    assert scan_pass(fallback, pfns, snapshot) == reference
+
+    scalar_s = best_of(scalar, pfns, snapshot)
+    batch_s = best_of(batch, pfns, snapshot)
+    fallback_s = best_of(fallback, pfns, snapshot)
+    speedup = scalar_s / batch_s
+
+    report = {
+        "frames": FRAMES,
+        "unique_contents": UNIQUE_CONTENTS,
+        "zero_fraction": 1 / ZERO_STRIDE,
+        "reps": REPS,
+        "scalar_pass_s": scalar_s,
+        "numpy_pass_s": batch_s,
+        "array_fallback_pass_s": fallback_s,
+        "speedup_numpy": speedup,
+        "speedup_array_fallback": scalar_s / fallback_s,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nscan pass over {FRAMES} frames: scalar {scalar_s * 1000:.1f} ms, "
+        f"numpy {batch_s * 1000:.1f} ms ({speedup:.1f}x), "
+        f"array fallback {fallback_s * 1000:.1f} ms\n"
+        f"wrote {RESULT_PATH}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized scan pass only {speedup:.2f}x faster "
+        f"(need {MIN_SPEEDUP}x at {FRAMES} frames)"
+    )

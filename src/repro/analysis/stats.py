@@ -5,11 +5,29 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
-from scipy import stats as scipy_stats
+# SciPy ships with the `repro[fast]` extra; only the two KS helpers
+# below need it, and they are exercised by the Fig. 5/6 benchmarks,
+# never by tier-1.  The guard keeps the whole analysis package (and
+# everything importing it) usable on a dependency-free install.
+try:
+    from scipy import stats as scipy_stats
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI leg
+    scipy_stats = None
+    HAVE_SCIPY = False
+
+
+def _require_scipy():
+    if scipy_stats is None:
+        raise RuntimeError(
+            "KS statistics require SciPy; install the repro[fast] extra"
+        )
 
 
 def ks_2samp_pvalue(sample_a, sample_b) -> float:
     """Two-sample Kolmogorov-Smirnov p-value (Fig. 6's SB check)."""
+    _require_scipy()
     result = scipy_stats.ks_2samp(sample_a, sample_b)
     return float(result.pvalue)
 
@@ -18,6 +36,7 @@ def ks_uniform_pvalue(values, low: float, high: float) -> float:
     """KS goodness-of-fit against Uniform[low, high) (the RA check)."""
     if high <= low:
         raise ValueError("empty interval")
+    _require_scipy()
     scaled = [(v - low) / (high - low) for v in values]
     result = scipy_stats.kstest(scaled, "uniform")
     return float(result.pvalue)

@@ -376,9 +376,12 @@ class Vusion(FusionEngine):
         return self._inc.stats_dict() if self._inc is not None else {}
 
     def sharing_pairs(self) -> tuple[int, int]:
+        # One scan-kernel reduction over the stable pfns; monitors
+        # sample this every tick, so it must not loop in Python.
         pages_shared = len(self._nodes_by_pfn)
-        pages_sharing = sum(
-            self.kernel.physmem.refcount(pfn) - 1 for pfn in self._nodes_by_pfn
+        pages_sharing = (
+            self.kernel.physmem.scan_kernel.refcount_sum(self._nodes_by_pfn)
+            - pages_shared
         )
         return pages_shared, pages_sharing
 

@@ -139,12 +139,11 @@ class IncrementalScanCache:
             return
         self._token = self.kernel.scan_topology_token()
         dirty = self._dirty.drain()
-        if dirty:
-            is_fused = self.kernel.physmem.is_fused
-            for pfn in dirty:
-                if is_fused(pfn):
-                    self.epoch += 1
-                    break
+        # Dirty-set intersection with the fusion-pinned frames, via
+        # the scan kernel (C-level set disjointness on the batch
+        # kernel instead of a per-frame Python probe loop).
+        if dirty and self.kernel.physmem.scan_kernel.any_fused(dirty):
+            self.epoch += 1
 
     def begin_round(self) -> None:
         """A full scan completed and the unstable tree was reset."""

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 from repro.fusion.base import FusionEngine, ScanCursor
 from repro.fusion.incremental import PURE, IncrementalScanCache
 from repro.kernel.idle import IdlePageTracker
-from repro.mem.content import PageContent
+from repro.mem.content import PageContent, ZERO_PAGE
 from repro.mem.physmem import FrameType
 from repro.mmu.pte import PteFlags
 from repro.params import DEFAULT_FUSION, FusionConfig, MS
@@ -163,7 +163,15 @@ class MemoryCombining(FusionEngine):
 
     def _swap_out(self, process: "Process", vaddr: int, pfn: int) -> None:
         kernel = self.kernel
-        content = kernel.physmem.read(pfn)
+        physmem = kernel.physmem
+        if physmem.scan_kernel.is_zero_frame(pfn):
+            # The canonical zero payload (reads identically from both
+            # stores), without touching payload storage on the batch
+            # kernel — zero pages are the bulk of an idle eviction
+            # sweep.
+            content = ZERO_PAGE
+        else:
+            content = physmem.read(pfn)
         combined = self.store.insert(content)
         self._evicted[(process.pid, vaddr)] = content
         old_pfn, refcount, old_pte = kernel.unmap_page(process, vaddr)

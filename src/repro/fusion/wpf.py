@@ -146,19 +146,22 @@ class WindowsPageFusion(FusionEngine):
 
         WPF computes the hash of every physical page that is a merge
         candidate; sorting-by-hash is applied later when the new stable
-        frames are allocated.  Pages are bucketed by
-        :meth:`~repro.mem.physmem.PhysicalMemory.merge_key` — a content
-        id on the columnar store, the content bytes on the legacy one;
-        either way the partition (and its encounter order) is exactly
-        the group-by-content of the original implementation.  The
-        returned ``digests`` map serves the per-content hash from the
-        frame fingerprint cache, one batch lookup per unique content.
+        frames are allocated.  The gather runs in two phases: a
+        sequential page-table walk collects (and charges) every
+        candidate, then one scan-kernel
+        :meth:`~repro.mem.scankernel.ScanKernel.group_by_content` call
+        buckets the batch by content identity — a vectorized pass over
+        the cid column on the batch kernel, the classic ``merge_key``
+        loop on the scalar reference; either way the partition (and
+        its encounter order) is exactly the group-by-content of the
+        original one-page-at-a-time implementation.  The returned
+        ``digests`` map serves the per-content hash from the frame
+        fingerprint cache, one batch lookup per unique content.
         """
         kernel = self.kernel
         physmem = kernel.physmem
-        candidates: dict[object, list[tuple["Process", int, int]]] = {}
-        contents: dict[object, PageContent] = {}
-        first_pfns: list[int] = []
+        holders: list[tuple["Process", int, int]] = []
+        pfns: list[int] = []
         for process in sorted(kernel.processes, key=lambda p: p.pid):
             if not process.alive:
                 continue
@@ -169,15 +172,25 @@ class WindowsPageFusion(FusionEngine):
                         continue
                     pfn = walk.frame_for(vaddr)
                     kernel.clock.advance(kernel.costs.checksum_page)
-                    key = physmem.merge_key(pfn)
-                    holders = candidates.get(key)
-                    if holders is None:
-                        candidates[key] = [(process, vaddr, pfn)]
-                        contents[key] = physmem.read(pfn)
-                        first_pfns.append(pfn)
-                    else:
-                        holders.append((process, vaddr, pfn))
-        digests = dict(zip(candidates, physmem.digests_many(first_pfns)))
+                    holders.append((process, vaddr, pfn))
+                    pfns.append(pfn)
+        groups = physmem.scan_kernel.group_by_content(pfns)
+        candidates = {
+            key: [holders[index] for index in indices]
+            for key, indices in groups.items()
+        }
+        contents = {
+            key: physmem.read(pfns[indices[0]])
+            for key, indices in groups.items()
+        }
+        digests = dict(
+            zip(
+                candidates,
+                physmem.digests_many(
+                    [pfns[indices[0]] for indices in groups.values()]
+                ),
+            )
+        )
         return candidates, contents, digests
 
     def _create_nodes(
@@ -316,8 +329,9 @@ class WindowsPageFusion(FusionEngine):
 
     def sharing_pairs(self) -> tuple[int, int]:
         pages_shared = len(self._nodes_by_pfn)
-        pages_sharing = sum(
-            self.kernel.physmem.refcount(pfn) - 1 for pfn in self._nodes_by_pfn
+        pages_sharing = (
+            self.kernel.physmem.scan_kernel.refcount_sum(self._nodes_by_pfn)
+            - pages_shared
         )
         return pages_shared, pages_sharing
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.fusion.base import FusionEngine, ScanCursor
-from repro.mem.content import is_zero
 from repro.mem.physmem import FrameType
 from repro.mmu.pte import PteFlags
 from repro.params import DEFAULT_FUSION, FusionConfig
@@ -60,7 +59,10 @@ class ZeroPageFusion(FusionEngine):
         if walk is None or walk.pte.fused:
             return
         pfn = walk.frame_for(vaddr)
-        if pfn == self._zero_frame or not is_zero(kernel.physmem.read(pfn)):
+        # The scan kernel's zero probe: an integer compare against the
+        # zero content id on the batch kernel, is_zero(read(pfn)) on
+        # the scalar reference.
+        if pfn == self._zero_frame or not kernel.physmem.scan_kernel.is_zero_frame(pfn):
             return
         if walk.huge:
             # Like KSM, break the THP to merge the zero subpage.

@@ -11,14 +11,24 @@ from repro.mem.content import (
     random_content,
 )
 from repro.mem.physmem import FRAME_STORES, FrameType, PhysicalMemory
+from repro.mem.scankernel import (
+    BatchScanKernel,
+    HAVE_NUMPY,
+    SCAN_KERNELS,
+    ScalarScanKernel,
+)
 
 __all__ = [
+    "BatchScanKernel",
     "BuddyAllocator",
     "ContentArena",
     "FRAME_STORES",
     "FrameType",
+    "HAVE_NUMPY",
     "PageContent",
     "PhysicalMemory",
+    "SCAN_KERNELS",
+    "ScalarScanKernel",
     "ZERO_ID",
     "ZERO_PAGE",
     "content_digest",

@@ -50,6 +50,7 @@ to skip *re-examining* unchanged pages; both are backend-independent:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -130,7 +131,10 @@ class FingerprintCache:
         #: Bumped once per mutation of any frame.
         self.mutation_epoch = 0
         self._num_frames = num_frames
-        self._generations: list[int] = [0] * num_frames
+        #: Per-frame generation counters in a fixed-size signed-64
+        #: column (never reallocated), so the batch scan kernel can
+        #: hold a zero-copy view for generation-delta filtering.
+        self._generations = array("q", bytes(8 * num_frames))
         self._backing = backing
         self._arena: "ContentArena | None" = getattr(backing, "arena", None)
         #: Per-frame digests (legacy backend only; None under an arena,

@@ -28,6 +28,12 @@ On top of the content column sit O(1) accounting structures — a
 :meth:`set_frame_type`, plus a sorted-pfn cache behind
 :meth:`mapped_frames` invalidated only when the rmap's key set changes
 — so per-sample metrics cost is independent of machine size.
+
+Batch queries over many frames (zero sweeps, duplicate grouping,
+digest sweeps) go through the pluggable scan kernel exposed as
+:attr:`PhysicalMemory.scan_kernel` — see :mod:`repro.mem.scankernel`
+— selected per machine via ``MachineSpec.scan_kernel`` or globally
+via ``REPRO_SCAN_KERNEL``.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.errors import InvalidFrameError
 from repro.mem.arena import ContentArena, ZERO_ID
 from repro.mem.content import PageContent, ZERO_PAGE, flip_bit
 from repro.mem.fingerprint import DirtyFrameView, FingerprintCache
+from repro.mem.scankernel import default_scan_kernel, make_scan_kernel
 from repro.params import PAGE_SIZE
 
 #: Environment override for the default content backend.
@@ -164,6 +171,7 @@ class PhysicalMemory:
         num_frames: int,
         fingerprint_enabled: bool = True,
         frame_store: str | None = None,
+        scan_kernel: str | None = None,
     ) -> None:
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
@@ -172,7 +180,9 @@ class PhysicalMemory:
         self._backing = _make_store(frame_store or default_frame_store(), num_frames)
         #: The content arena behind the columnar store (None on legacy).
         self.arena: ContentArena | None = self._backing.arena
-        self._refcount: list[int] = [0] * num_frames
+        #: A fixed-size signed-64 column (never reallocated) so the
+        #: batch scan kernel can hold a zero-copy view over it.
+        self._refcount = array("q", bytes(8 * num_frames))
         self._types: list[FrameType] = [FrameType.FREE] * num_frames
         self._rmap: dict[int, set[tuple[int, int]]] = {}
         #: Content version per frame, bumped on every mutation.  The
@@ -197,11 +207,25 @@ class PhysicalMemory:
         #: ``REPRO_SANITIZE=1``); content accesses below consult it so
         #: use-after-free and CoW violations fault at the access site.
         self.sanitizer = None
+        #: Batch scan primitives over the content column (zero sweep,
+        #: duplicate grouping, dirty intersection, generation deltas —
+        #: see :mod:`repro.mem.scankernel`).  Engines reach it through
+        #: ``kernel.physmem.scan_kernel``; the flavour is another pure
+        #: representation choice proven observation-identical by
+        #: ``tests/test_scan_kernel_differential.py``.
+        self.scan_kernel = make_scan_kernel(
+            scan_kernel or default_scan_kernel(), self
+        )
 
     @property
     def store_kind(self) -> str:
         """Name of the active content backend ("columnar" | "legacy")."""
         return self._backing.name
+
+    @property
+    def scan_kernel_kind(self) -> str:
+        """Name of the active scan kernel ("batch" | "scalar")."""
+        return self.scan_kernel.name
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -348,43 +372,12 @@ class PhysicalMemory:
         """Digests for many frames in one pass.
 
         Behaviourally ``[digest(pfn) for pfn in pfns]``; on the
-        columnar store duplicate content ids in the batch collapse to a
-        single cache probe each.
+        columnar store duplicate content ids in the batch collapse to
+        a single cache probe each (and under the batch scan kernel the
+        column indexing itself is vectorized), with hit/miss stats
+        matching the per-frame path exactly either way.
         """
-        fingerprints = self.fingerprints
-        if self.arena is None or not fingerprints.enabled:
-            return [self.digest(pfn) for pfn in pfns]
-        arena = self.arena
-        # Hot loop (fleet monitors sweep every frame per sample): index
-        # the cid column directly and batch the stats updates — the
-        # stats totals match the per-frame path exactly.
-        cids = self._backing._cids
-        num_frames = self.num_frames
-        stats = fingerprints.stats
-        by_cid: dict[int, int] = {}
-        lookup = by_cid.get
-        out: list[int] = []
-        append = out.append
-        hits = misses = 0
-        for pfn in pfns:
-            if not 0 <= pfn < num_frames:
-                self.check_pfn(pfn)
-            value = lookup(cid := cids[pfn])
-            if value is None:
-                cached = arena.peek_digest(cid)
-                if cached is not None:
-                    hits += 1
-                    value = cached
-                else:
-                    misses += 1
-                    value = arena.digest(cid)
-                by_cid[cid] = value
-            else:
-                hits += 1
-            append(value)
-        stats.digest_hits += hits
-        stats.digest_misses += misses
-        return out
+        return self.scan_kernel.digest_sweep(pfns)
 
     def generation(self, pfn: int) -> int:
         """Mutation generation of ``pfn``.

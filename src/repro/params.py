@@ -229,6 +229,15 @@ class MachineSpec:
     #: Another pure representation choice: simulated time, merges and
     #: artifacts are byte-identical (tests/test_store_differential.py).
     frame_store: str | None = None
+    #: Scan kernel serving batch frame queries (zero sweeps, duplicate
+    #: grouping, digest sweeps): "batch" (vectorized over the columnar
+    #: cid column — NumPy when installed, pure-``array`` fallback
+    #: otherwise) or "scalar" (the per-frame reference loops).  None
+    #: defers to the REPRO_SCAN_KERNEL environment variable, then
+    #: "batch".  Like the store, a pure representation choice: clocks,
+    #: ledgers and artifacts are byte-identical
+    #: (tests/test_scan_kernel_differential.py).
+    scan_kernel: str | None = None
 
     @property
     def total_bytes(self) -> int:

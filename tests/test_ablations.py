@@ -7,7 +7,13 @@ is load-bearing.
 
 from __future__ import annotations
 
-from scipy import stats as scipy_stats
+import pytest
+
+scipy_stats = pytest.importorskip(
+    "scipy.stats",
+    reason="KS ablation checks need the repro[fast] extra",
+    exc_type=ImportError,
+)
 
 from repro.attacks import AttackEnvironment, PrefetchAttack
 from repro.mem.content import tagged_content

@@ -82,6 +82,11 @@ class TestCommands:
         assert "PASS" in out
 
     def test_experiment_seed_flag(self, capsys):
+        pytest.importorskip(
+            "scipy.stats",
+            reason="the ra experiment runs a KS test",
+            exc_type=ImportError,
+        )
         assert main(["experiment", "ra", "--seed", "7"]) == 0
         assert "KS p-value" in capsys.readouterr().out
 

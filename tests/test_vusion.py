@@ -223,7 +223,11 @@ class TestSameBehaviour:
         which is merge-independent; a KS test must not distinguish the
         two distributions (the paper reports p = 0.36 for Fig. 6).
         """
-        from scipy import stats as scipy_stats
+        scipy_stats = pytest.importorskip(
+            "scipy.stats",
+            reason="KS check needs the repro[fast] extra",
+            exc_type=ImportError,
+        )
 
         kernel, vu = make_vusion_setup(frames=16384, pages_per_scan=512)
         a = kernel.create_process("a")
