@@ -1,0 +1,204 @@
+"""Staged-scale fleet benchmark: savings / attack surface / scan cost
+as scale curves, with flat host memory.
+
+A consolidation fleet streams through a fixed 32k-frame machine at
+three cumulative scales — ~20k, ~100k and ~500k booted pages (plus an
+opt-in ~2M tier) — under all four system columns.  Each (system, scale)
+cell runs median-of-3 with distinct seeds; host RSS is sampled
+continuously through the driver's ``on_chunk`` hook, so the benchmark
+proves the streaming claim directly: cumulative booted frames grow 25x
+while sampled peak host memory stays within a small constant factor
+(the machine, not the fleet, bounds memory).
+
+Tiers (``REPRO_FLEET_TIER``):
+
+* ``smoke`` — 20k only; the CI gate.
+* unset / ``gated`` — 20k, 100k, 500k (the committed curves).
+* ``full`` — adds the 2M tier.
+
+Results land in ``BENCH_fleet_scale.json`` at the repository root:
+per-system scale curves of ``saved_frames`` (fusion savings),
+``probe_hits``/``probes`` (measured attack surface) and ``scan_ns``
+(simulated scan overhead), plus wall time and sampled peak RSS.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+from repro.harness.fleet import FleetDriver
+from repro.harness.scenario import PRESETS
+from repro.harness.spec import FleetSpec, ScenarioSpec, ScheduleSpec
+from repro.params import MS, SECOND
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_fleet_scale.json"
+)
+
+FRAMES = 32768
+PAGES_PER_VM = 448
+MAX_RESIDENT = 12
+REPS = 3
+BASE_SEED = 1017
+
+#: scale name -> fleet size (cumulative booted pages = vms * 448).
+SCALE_VMS = {
+    "20k": 45,        # ~20k pages
+    "100k": 224,      # ~100k pages
+    "500k": 1116,     # ~500k pages
+    "2m": 4464,       # ~2M pages (opt-in)
+}
+
+TIERS = {
+    "smoke": ("20k",),
+    "gated": ("20k", "100k", "500k"),
+    "full": ("20k", "100k", "500k", "2m"),
+}
+
+#: Sublinearity margin: sampled peak RSS may grow by at most a quarter
+#: of the booted-frame growth factor (25x frames -> at most ~6x RSS;
+#: measured ~2.4x).  The residual growth is interpreter high-water
+#: effects plus the content-intern table, not resident VM pages — the
+#: streaming window, not the fleet, owns host memory.
+MAX_RSS_FRACTION_OF_FRAME_GROWTH = 0.25
+
+
+def tier_scales() -> tuple[str, ...]:
+    tier = os.environ.get("REPRO_FLEET_TIER", "gated")
+    if tier not in TIERS:
+        raise ValueError(f"unknown REPRO_FLEET_TIER {tier!r} "
+                         f"(known: {', '.join(TIERS)})")
+    return TIERS[tier]
+
+
+def scale_spec(system: str, scale: str, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"scale-{scale}-{system}",
+        system=PRESETS[system],
+        fleet=FleetSpec(
+            vms=SCALE_VMS[scale],
+            image_families=4,
+            pages_per_vm=PAGES_PER_VM,
+            arrival_interval_ns=100 * MS,
+            lifetime_ns=2 * SECOND,
+            max_resident=MAX_RESIDENT,
+        ),
+        schedule=ScheduleSpec(settle_ns=SECOND),
+        frames=FRAMES,
+        seed=seed,
+    )
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process, sampled cheaply."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as statm:
+            return int(statm.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError):  # non-procfs hosts
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def run_cell(system: str, scale: str, seed: int) -> dict:
+    peak_rss = 0
+
+    def sample_rss(_driver, _event):
+        nonlocal peak_rss
+        peak_rss = max(peak_rss, rss_bytes())
+
+    spec = scale_spec(system, scale, seed)
+    start = time.perf_counter()
+    result = FleetDriver(spec, on_chunk=sample_rss).run()
+    wall = time.perf_counter() - start
+    totals = result.totals
+    return {
+        "booted_pages": totals["booted_pages"],
+        "peak_frames_in_use": totals["peak_frames_in_use"],
+        "peak_saved_frames": totals["peak_saved_frames"],
+        "probes": totals["probes"],
+        "probe_hits": totals["probe_hits"],
+        "pages_scanned": totals["pages_scanned"],
+        "scan_ns": totals["scan_ns"],
+        "cow_faults": totals["cow_faults"],
+        "coa_faults": totals["coa_faults"],
+        "wall_s": wall,
+        "peak_rss_bytes": peak_rss,
+    }
+
+
+def median_cell(runs: list[dict]) -> dict:
+    return {
+        key: statistics.median(run[key] for run in runs)
+        for key in runs[0]
+    }
+
+
+def test_fleet_scale_curves():
+    scales = tier_scales()
+    curves: dict[str, dict[str, dict]] = {}
+    for system in PRESETS:
+        curves[system] = {}
+        for scale in scales:
+            runs = [run_cell(system, scale, BASE_SEED + rep)
+                    for rep in range(REPS)]
+            cell = median_cell(runs)
+            curves[system][scale] = cell
+            print(f"{system:>10} @ {scale:>4}: "
+                  f"saved {cell['peak_saved_frames']:7.0f}  "
+                  f"hits {cell['probe_hits']:4.0f}/{cell['probes']:5.0f}  "
+                  f"scan {cell['scan_ns'] / 1e6:8.1f} ms  "
+                  f"rss {cell['peak_rss_bytes'] / 2**20:6.1f} MiB  "
+                  f"wall {cell['wall_s']:6.2f} s")
+
+    report = {
+        "frames": FRAMES,
+        "pages_per_vm": PAGES_PER_VM,
+        "max_resident": MAX_RESIDENT,
+        "reps": REPS,
+        "scales": {name: SCALE_VMS[name] * PAGES_PER_VM for name in scales},
+        "systems": curves,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+    smallest, largest = scales[0], scales[-1]
+    for system, curve in curves.items():
+        # The machine bounds simulated memory at every scale.
+        for scale in scales:
+            assert curve[scale]["peak_frames_in_use"] <= FRAMES, (
+                system, scale)
+        # Host memory is sublinear in booted frames: the fleet grows,
+        # the streaming window (and so RSS) does not.
+        if len(scales) > 1:
+            frame_growth = (curve[largest]["booted_pages"]
+                            / curve[smallest]["booted_pages"])
+            rss_growth = (curve[largest]["peak_rss_bytes"]
+                          / curve[smallest]["peak_rss_bytes"])
+            assert frame_growth >= 5.0, (system, frame_growth)
+            assert rss_growth <= max(
+                1.5, frame_growth * MAX_RSS_FRACTION_OF_FRAME_GROWTH
+            ), (
+                f"{system}: sampled peak RSS grew {rss_growth:.2f}x over a "
+                f"{frame_growth:.0f}x frame-count increase — not sublinear "
+                f"(streaming window leak?)"
+            )
+
+    for scale in scales:
+        # Fusion saves memory wherever an engine runs...
+        assert curves["ksm"][scale]["peak_saved_frames"] > 0, scale
+        assert curves["vusion"][scale]["peak_saved_frames"] > 0, scale
+        assert curves["nodedup"][scale]["peak_saved_frames"] == 0, scale
+        # ...but only KSM exposes a measurable attack surface; the
+        # VUsion columns stay blind at every scale.
+        assert curves["ksm"][scale]["probe_hits"] > 0, scale
+        assert curves["vusion"][scale]["probe_hits"] == 0, scale
+        assert curves["vusion_thp"][scale]["probe_hits"] == 0, scale
+        assert curves["nodedup"][scale]["probe_hits"] == 0, scale
+        # Scan overhead is the price of dedup: zero without an engine.
+        assert curves["ksm"][scale]["scan_ns"] > 0, scale
+        assert curves["nodedup"][scale]["pages_scanned"] == 0, scale

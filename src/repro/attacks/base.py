@@ -27,9 +27,9 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
 from repro.params import MachineSpec, MS, SECOND
 
-#: Legacy alias — engine construction now lives in
-#: :mod:`repro.fusion.registry`; kept importable for existing callers.
-ENGINE_FACTORIES = attack_engine_factories()
+#: Engine construction lives in :mod:`repro.fusion.registry`; this is
+#: the harness's private name -> zero-arg factory table.
+_engine_factories = attack_engine_factories()
 
 
 @dataclass
@@ -65,7 +65,7 @@ class AttackEnvironment:
         thp_fault: bool = False,
         row_vulnerability: float | None = None,
     ) -> None:
-        if engine_name not in ENGINE_FACTORIES:
+        if engine_name not in _engine_factories:
             raise ValueError(f"unknown engine {engine_name!r}")
         self.engine_name = engine_name
         self.kernel = Kernel(
@@ -74,7 +74,7 @@ class AttackEnvironment:
         )
         if row_vulnerability is not None:
             self.kernel.rowhammer.row_vulnerability = row_vulnerability
-        self.engine = ENGINE_FACTORIES[engine_name]()
+        self.engine = _engine_factories[engine_name]()
         if self.engine is not None:
             self.kernel.attach_fusion(self.engine)
         self.attacker: Process = self.kernel.create_process("attacker")

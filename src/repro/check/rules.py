@@ -535,6 +535,12 @@ LAYERING: dict[str, tuple[str, ...]] = {
                     "repro.cli"),
 }
 
+#: Modules importable from anywhere despite the layering map.
+#: ``repro.runner.seeds`` is the runner's dependency-free leaf (pure
+#: hashlib seed derivation); the harness spec layer shares it so
+#: spec-driven and runner-driven seeds are one derivation, not two.
+LAYERING_EXEMPT = frozenset({"repro.runner.seeds"})
+
 
 def _forbidden_for(module: str) -> tuple[str, ...]:
     best = ""
@@ -550,6 +556,8 @@ class _LayeringVisitor(ast.NodeVisitor):
         self.forbidden = _forbidden_for(ctx.module)
 
     def _check(self, node: ast.AST, imported: str) -> None:
+        if imported in LAYERING_EXEMPT:
+            return
         for prefix in self.forbidden:
             if imported == prefix or imported.startswith(prefix + "."):
                 self.ctx.report(
@@ -577,6 +585,65 @@ class _LayeringVisitor(ast.NodeVisitor):
                 self.visit(child)
             return
         self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# API001 — removed deprecation shims stay removed
+# ----------------------------------------------------------------------
+#: Pre-runner API names that went through a deprecation cycle and are
+#: now deleted, mapped to their typed replacement.
+_REMOVED_NAMES = {
+    "EXPERIMENT_REGISTRY":
+        "repro.harness.experiments.EXPERIMENTS (ExperimentSpec registry)",
+    "ENGINE_FACTORIES":
+        "repro.fusion.registry.create_engine / attack_engine_factories()",
+    "ATTACK_ENV_DEFAULTS":
+        "the attack classes' own env_defaults",
+}
+
+
+class _RemovedApiVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+
+    def _flag(self, node: ast.AST, name: str) -> None:
+        self.ctx.report(
+            "API001", node,
+            f"{name} was removed after its deprecation cycle; use "
+            f"{_REMOVED_NAMES[name]}",
+        )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in _REMOVED_NAMES:
+            self._flag(node, node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _REMOVED_NAMES:
+            self._flag(node, node.attr)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name in _REMOVED_NAMES:
+                self._flag(node, alias.name)
+        self.generic_visit(node)
+
+
+register(Rule(
+    id="API001",
+    severity="error",
+    summary="removed deprecation shims (EXPERIMENT_REGISTRY, "
+            "ENGINE_FACTORIES, ATTACK_ENV_DEFAULTS) are not referenced",
+    rationale=(
+        "The PR 2 shims had one release of deprecation warnings and are "
+        "now deleted; a lingering reference would NameError at runtime "
+        "or, worse, resurrect a second registry that drifts from the "
+        "typed one. The linter keeps the old spellings from creeping "
+        "back in through copy-paste."
+    ),
+    checker=_RemovedApiVisitor,
+))
 
 
 register(Rule(

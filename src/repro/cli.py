@@ -8,6 +8,9 @@ Commands:
   (``--jobs N``), with per-task seeds, retries and JSON artifacts.
 * ``experiment`` — thin alias: one table/figure through the runner.
 * ``attack``     — thin alias: one attack vs one engine.
+* ``fleet``      — spec-driven consolidation scenarios: run a preset
+  (or a ScenarioSpec JSON file) through the streaming fleet driver,
+  or export a preset's spec as JSON (``--export-spec``).
 * ``matrix``     — thin alias: the Table 1 attack matrix.
 * ``report``     — run every experiment and write a combined report.
 * ``lint``       — simlint, the simulation-invariant linter
@@ -39,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="run experiments/attack cells through the parallel runner",
         description="Selectors: experiment names, tag:<tag>, "
-                    "attack:<name>[@<engine>], 'matrix', 'all'.",
+                    "attack:<name>[@<engine>], fleet:<preset>[@<system>], "
+                    "'matrix', 'all'.",
     )
     run.add_argument("selectors", nargs="*",
                      help="what to run (see --help for the grammar)")
@@ -76,6 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
                           "published insecure target)")
     atk.add_argument("--seed", type=int, default=1017)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a spec-driven consolidation scenario",
+        description="Run a fleet preset (or a ScenarioSpec JSON file) "
+                    "through the streaming consolidation driver.",
+    )
+    from repro.harness.fleet import FLEET_PRESETS
+    from repro.harness.scenario import PRESETS as SYSTEM_PRESETS
+
+    fleet.add_argument("preset", nargs="?", choices=sorted(FLEET_PRESETS),
+                       help="fleet preset (omit when using --spec)")
+    fleet.add_argument("--system", default="ksm",
+                       choices=sorted(SYSTEM_PRESETS),
+                       help="system column to run (default ksm)")
+    fleet.add_argument("--full", action="store_true",
+                       help="full scale (more VMs, slower)")
+    fleet.add_argument("--seed", type=int, default=1017)
+    fleet.add_argument("--spec", default=None, metavar="FILE",
+                       help="run a ScenarioSpec JSON file instead of a preset")
+    fleet.add_argument("--export-spec", default=None, metavar="FILE",
+                       help="write the preset's ScenarioSpec JSON to FILE "
+                            "('-' for stdout) and exit without running")
+
     matrix = sub.add_parser("matrix", help="run the full Table 1 attack matrix")
     matrix.add_argument("--seed", type=int, default=1017)
 
@@ -103,6 +130,12 @@ def cmd_list() -> int:
     for name in sorted(ATTACKS_BY_NAME):
         attack = ATTACKS_BY_NAME[name]
         print(f"  {name:22s} insecure target: {attack.default_target}")
+    print("\nfleet presets (repro fleet <preset> / repro run "
+          "fleet:<preset>[@<system>]):")
+    from repro.harness.fleet import FLEET_PRESETS
+
+    for name in sorted(FLEET_PRESETS):
+        print(f"  {name:22s} {FLEET_PRESETS[name].description}")
     print("\nengines:")
     for name in sorted(ENGINE_SPECS):
         print(f"  {name:22s} {ENGINE_SPECS[name].description}")
@@ -206,6 +239,60 @@ def cmd_attack(name: str, target: str | None, seed: int) -> int:
     return 0
 
 
+def _print_fleet_totals(name: str, system: str, totals: dict) -> None:
+    print(f"fleet {name} vs {system}:")
+    for key in (
+        "booted_vms", "retired_vms", "booted_pages", "peak_resident_vms",
+        "peak_frames_in_use", "peak_saved_frames", "final_saved_frames",
+        "probes", "probe_hits", "scan_ns", "clock_ns",
+    ):
+        print(f"  {key:20s} {totals.get(key)}")
+
+
+def cmd_fleet(args) -> int:
+    import pathlib
+
+    from repro.harness.fleet import FLEET_PRESETS
+    from repro.harness.spec import ScenarioSpec
+
+    if args.spec is not None:
+        from repro.harness.fleet import FleetDriver
+
+        try:
+            spec = ScenarioSpec.from_json(
+                pathlib.Path(args.spec).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = FleetDriver(spec).run()
+        _print_fleet_totals(spec.name, spec.system.label, result.totals)
+        return 0
+    if args.preset is None:
+        print("error: give a fleet preset or --spec FILE", file=sys.stderr)
+        return 2
+    scale = "full" if args.full else "quick"
+    if args.export_spec is not None:
+        spec = FLEET_PRESETS[args.preset].spec(
+            system=args.system, scale=scale, seed=args.seed)
+        if args.export_spec == "-":
+            sys.stdout.write(spec.to_json())
+        else:
+            path = pathlib.Path(args.export_spec)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(spec.to_json())
+            print(f"spec written to {path}")
+        return 0
+    from repro.runner import TaskSpec
+
+    task = TaskSpec.fleet(args.preset, system=args.system, scale=scale)
+    outcome = _run_single(task, args.seed)
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    _print_fleet_totals(args.preset, args.system, outcome.payload["totals"])
+    return 0
+
+
 def cmd_matrix(seed: int) -> int:
     return cmd_experiment("table1", full=False, seed=seed)
 
@@ -256,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args.name, args.full, args.seed)
     if args.command == "attack":
         return cmd_attack(args.name, args.target, args.seed)
+    if args.command == "fleet":
+        return cmd_fleet(args)
     if args.command == "matrix":
         return cmd_matrix(args.seed)
     if args.command == "report":

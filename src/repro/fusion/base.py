@@ -145,6 +145,15 @@ class FusionEngine(ABC):
     def on_fused_ref_drop(self, pfn: int) -> None:
         """A mapping of a fused frame went away (munmap/exit)."""
 
+    def on_mergeable_unmapped(self, process: "Process", vma: Vma) -> None:
+        """A mergeable VMA is being torn down (munmap/process exit).
+
+        Engines that keep references into candidate pages across scan
+        ticks (KSM's unstable tree) must drop the region's entries
+        here, before the frames are freed — Linux KSM does the same by
+        removing the range's rmap_items from ``ksm_exit``/``unmap``.
+        """
+
     def handle_missing_page(self, process: "Process", vaddr: int) -> bool:
         """Hook on the demand-fault path for engines that evict pages
         (e.g. Memory Combining's swap-in).  Return True if handled."""

@@ -308,6 +308,24 @@ class Ksm(FusionEngine):
         self._note_fused_unmapped(pfn)
         self._maybe_release_node(pfn)
 
+    def on_mergeable_unmapped(self, process: "Process", vma) -> None:
+        """Drop the region's rmap state before its frames are freed.
+
+        Unstable refs point at unprotected private frames; once the
+        VMA's frames are released a tree comparison would read freed
+        memory.  Removal is structural (no key comparisons), so no
+        simulated time is charged — matching Linux KSM, where removing
+        rmap_items on exit is not part of the scan cost.
+        """
+        pid = process.pid
+        for ref in self.unstable.values():
+            if ref.pid == pid and vma.start <= ref.vaddr < vma.end:
+                self.unstable.remove(ref)
+        stale = [key for key in self._checksums
+                 if key[0] == pid and vma.start <= key[1] < vma.end]
+        for key in stale:
+            del self._checksums[key]
+
     def unmerge_for_collapse(self, process: "Process", vaddr: int) -> None:
         walk = process.address_space.page_table.walk(vaddr)
         if walk is not None and walk.pte.fused:

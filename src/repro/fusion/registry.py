@@ -1,7 +1,7 @@
 """Single factory for every fusion engine the harness can build.
 
 Historically engine construction lived in two places with drifting
-defaults: ``ENGINE_FACTORIES`` in :mod:`repro.attacks.base` (fast scan
+defaults: a factory dict in :mod:`repro.attacks.base` (fast scan
 parameters for the attack harness) and ``build_engine`` in
 :mod:`repro.harness.scenario` (per-:class:`SystemConfig` wiring for the
 experiment drivers).  Both now delegate here: :func:`create_engine`
@@ -124,11 +124,7 @@ def engine_names() -> tuple[str, ...]:
 
 
 def attack_engine_factories() -> dict[str, Callable[[], FusionEngine | None]]:
-    """Name -> zero-arg factory with the attack harness's defaults.
-
-    (The legacy ``ENGINE_FACTORIES`` shape; ``repro.attacks.base`` keeps
-    a module-level alias for backwards compatibility.)
-    """
+    """Name -> zero-arg factory with the attack harness's defaults."""
 
     def make(engine_name: str) -> Callable[[], FusionEngine | None]:
         if engine_name == "memory-combining":

@@ -1,21 +1,51 @@
 """Experiment harness: system configurations and per-figure drivers."""
 
+from repro.harness.fleet import (
+    FLEET_PRESETS,
+    FleetDriver,
+    FleetPreset,
+    FleetResult,
+    FleetSample,
+    fleet_images,
+    generate_plan,
+    run_fleet,
+)
 from repro.harness.scenario import (
     KSM_CONFIG,
     NO_DEDUP,
+    PRESETS,
     Scenario,
     STANDARD_CONFIGS,
     SystemConfig,
     VUSION_CONFIG,
     VUSION_THP_CONFIG,
 )
+from repro.harness.spec import (
+    FleetSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    SPEC_VERSION,
+)
 
 __all__ = [
+    "FLEET_PRESETS",
+    "FleetDriver",
+    "FleetPreset",
+    "FleetResult",
+    "FleetSample",
+    "FleetSpec",
     "KSM_CONFIG",
     "NO_DEDUP",
+    "PRESETS",
     "STANDARD_CONFIGS",
+    "SPEC_VERSION",
     "Scenario",
+    "ScenarioSpec",
+    "ScheduleSpec",
     "SystemConfig",
     "VUSION_CONFIG",
     "VUSION_THP_CONFIG",
+    "fleet_images",
+    "generate_plan",
+    "run_fleet",
 ]

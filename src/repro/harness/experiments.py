@@ -998,6 +998,60 @@ def run_memory_combining(scale: Scale = QUICK, seed: int = 1017) -> ExperimentRe
     return result
 
 
+def run_fleet_consolidation(scale: Scale, seed: int) -> ExperimentResult:
+    """Beyond-paper: the §9 trade-off at cloud-consolidation scale.
+
+    Streams the ``consolidation`` fleet preset (VM churn, image
+    families, idle/active/adversarial tenants) through all four system
+    columns and reports fusion savings, measured attack surface
+    (adversary probe hits) and scan overhead per system.
+    """
+    from repro.harness.fleet import FLEET_PRESETS, FleetDriver
+
+    scale_name = "full" if scale == FULL else "quick"
+    preset = FLEET_PRESETS["consolidation"]
+    result = ExperimentResult(
+        "fleet consolidation: savings vs attack surface vs scan overhead",
+        headers=["system", "booted VMs", "peak saved", "probes",
+                 "probe hits", "scan ms"],
+    )
+    for key in ("nodedup", "ksm", "vusion", "vusion_thp"):
+        spec = preset.spec(system=key, scale=scale_name, seed=seed)
+        totals = FleetDriver(spec).run().totals
+        result.notes[key] = totals
+        result.rows.append([
+            spec.system.label,
+            totals["booted_vms"],
+            totals["peak_saved_frames"],
+            totals["probes"],
+            totals["probe_hits"],
+            totals["scan_ns"] // 1_000_000,
+        ])
+    notes = result.notes
+    result.checks["ksm saves memory at fleet scale"] = (
+        notes["ksm"]["peak_saved_frames"] > 0
+    )
+    result.checks["vusion savings stay close to ksm"] = (
+        notes["vusion"]["peak_saved_frames"]
+        >= 0.5 * notes["ksm"]["peak_saved_frames"]
+    )
+    result.checks["adversary observes merges under ksm"] = (
+        notes["ksm"]["probe_hits"] > 0
+    )
+    result.checks["adversary blind under vusion"] = (
+        notes["vusion"]["probe_hits"] == 0
+        and notes["vusion_thp"]["probe_hits"] == 0
+    )
+    result.checks["no-dedup exposes no surface"] = (
+        notes["nodedup"]["probe_hits"] == 0
+    )
+    result.checks["streaming stays within the machine"] = all(
+        totals["peak_frames_in_use"] <= preset.frames
+        for totals in notes.values()
+    )
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Registry (consumed by the CLI, the runner and the benchmark suite)
 # ---------------------------------------------------------------------------
@@ -1067,27 +1121,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
               "§7.2 ablation", tags=("performance", "ablation")),
         _spec("memory-combining", run_memory_combining, "§10.1",
               tags=("memory",)),
+        _spec("fleet", run_fleet_consolidation, "beyond paper: §9 at scale",
+              tags=("fleet", "memory")),
     )
 }
 
 
-class _DeprecatedRegistry(dict):
-    """Legacy ``name -> callable(scale, seed)`` view of the registry."""
-
-    def __getitem__(self, name):
-        import warnings
-
-        warnings.warn(
-            "EXPERIMENT_REGISTRY is deprecated; use "
-            "repro.harness.experiments.EXPERIMENTS (ExperimentSpec registry)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return super().__getitem__(name)
-
-
-#: Deprecated: the pre-runner bare-dict registry.  Iterating it is
-#: warning-free (cheap discovery); indexing warns once per call site.
-EXPERIMENT_REGISTRY: dict = _DeprecatedRegistry(
-    {name: spec.runner for name, spec in EXPERIMENTS.items()}
-)

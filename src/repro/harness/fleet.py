@@ -1,0 +1,499 @@
+"""Cloud-consolidation fleets: generator, streaming driver, presets.
+
+The paper evaluates VUsion on a handful of co-hosted VMs; this module
+scales the same trade-off — fusion savings vs. attack surface vs. scan
+overhead — to consolidation workloads: hundreds of VMs arriving and
+departing over time, booted from a registry of image families that
+share distro pages, with a tenant mix of idle, active and adversarial
+guests.
+
+Everything is driven by a declarative :class:`~repro.harness.spec
+.ScenarioSpec`.  :func:`generate_plan` expands the spec into a
+deterministic arrival/lifetime/role plan; :class:`FleetDriver` executes
+the plan *streaming*: VMs boot in chunks and retire when their lease
+ends, so at most ``fleet.max_resident`` VMs are co-resident and peak
+host memory stays flat while the cumulative booted-frame count scales
+to millions (the staged-scale benchmark drives 20k → 2M frames through
+a fixed-size machine this way).
+
+Tenant roles:
+
+* **idle** — occasional page-cache reads (the Fig. 10 initial
+  condition); their RAM is the fusion opportunity.
+* **active** — a skewed write working set over their app pages plus
+  page-cache reads; their churn is what CoW/CoA overheads price.
+* **adversarial** — a memory-disclosure tenant playing the
+  distinguishing game from the attack suite: it plants candidate pages
+  duplicating another family's page-cache content next to unique
+  control pages, and times same-content rewrites of both.  Under KSM
+  the candidate's CoW break is visibly slower than the control's plain
+  store; under VUsion both pages are fused (merged or fake-merged) and
+  behave identically.  ``probe_hits`` is therefore a measured attack
+  surface, not a ground-truth peek.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.harness.scenario import Scenario, SystemConfig
+from repro.harness.spec import FleetSpec, ScenarioSpec, ScheduleSpec
+from repro.mem.content import tagged_content
+from repro.params import MS, SECOND
+from repro.workloads.base import skewed_index
+from repro.workloads.vm_image import GuestVm, VmImageSpec
+
+#: Distro catalogue image families cycle through (same-distro families
+#: share kernel/page-cache/stale pages — the cross-image dedup pool).
+FLEET_DISTROS = (
+    "debian-9", "ubuntu-16.04", "centos-7", "debian-8",
+    "ubuntu-14.04", "fedora-25",
+)
+
+#: Region proportions of the default 1792-page image (Table 3 shape).
+_REGION_WEIGHTS = (
+    ("kernel_pages", 128),
+    ("page_cache_pages", 768),
+    ("free_pages", 640),
+    ("app_pages", 256),
+)
+_WEIGHT_TOTAL = sum(weight for _, weight in _REGION_WEIGHTS)
+
+
+def fleet_images(fleet: FleetSpec) -> list[VmImageSpec]:
+    """The image registry of a fleet: ``image_families`` images of
+    ``pages_per_vm`` pages each, keeping the Table 3 region mix."""
+    images = []
+    for index in range(fleet.image_families):
+        sizes = {}
+        allocated = 0
+        for name, weight in _REGION_WEIGHTS[:-1]:
+            pages = max(4, fleet.pages_per_vm * weight // _WEIGHT_TOTAL)
+            sizes[name] = pages
+            allocated += pages
+        sizes["app_pages"] = max(4, fleet.pages_per_vm - allocated)
+        images.append(
+            VmImageSpec(
+                name=f"fleet-{index:02d}",
+                distro=FLEET_DISTROS[index % len(FLEET_DISTROS)],
+                **sizes,
+            )
+        )
+    return images
+
+
+@dataclass(frozen=True)
+class VmPlan:
+    """One VM's deterministic slot in the consolidation schedule."""
+
+    index: int
+    name: str
+    image_index: int
+    role: str                 #: "idle" | "active" | "adversarial"
+    arrival_ns: int           #: Nominal arrival (may wait for a slot).
+    lifetime_ns: int          #: Boot-to-retirement lease.
+    seed: int                 #: Per-VM seed (drives its traffic RNG).
+
+
+def _role_sequence(fleet: FleetSpec, rng: random.Random) -> list[str]:
+    """Tenant roles for the whole fleet, fractions rounded to counts."""
+    adversarial = round(fleet.vms * fleet.adversarial_fraction)
+    active = round(fleet.vms * fleet.active_fraction)
+    adversarial = min(adversarial, fleet.vms)
+    active = min(active, fleet.vms - adversarial)
+    roles = (
+        ["adversarial"] * adversarial
+        + ["active"] * active
+        + ["idle"] * (fleet.vms - adversarial - active)
+    )
+    rng.shuffle(roles)
+    return roles
+
+
+def generate_plan(spec: ScenarioSpec) -> list[VmPlan]:
+    """Expand a spec into its deterministic arrival plan.
+
+    Pure in the spec: arrivals, jitter, image choice and roles all come
+    from RNGs seeded via :meth:`ScenarioSpec.derived_seed`, so the same
+    spec yields the same plan on any host, worker or run.
+    """
+    fleet = spec.fleet
+    rng = random.Random(spec.derived_seed("plan"))
+    roles = _role_sequence(fleet, rng)
+    plans = []
+    arrival = 0
+    for index in range(fleet.vms):
+        jitter = 1.0 + fleet.churn_jitter * (2 * rng.random() - 1.0)
+        arrival += max(1, int(fleet.arrival_interval_ns * jitter))
+        life_jitter = 1.0 + fleet.churn_jitter * (2 * rng.random() - 1.0)
+        lifetime = max(MS, int(fleet.lifetime_ns * life_jitter))
+        plans.append(
+            VmPlan(
+                index=index,
+                name=f"vm{index:04d}",
+                image_index=rng.randrange(fleet.image_families),
+                role=roles[index],
+                arrival_ns=arrival,
+                lifetime_ns=lifetime,
+                seed=spec.vm_seed(index),
+            )
+        )
+    return plans
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One point of the scenario's time series (simulated state only)."""
+
+    t_ns: int
+    booted: int
+    retired: int
+    resident: int
+    frames_in_use: int
+    saved_frames: int
+    pages_shared: int
+    pages_sharing: int
+    probes: int
+    probe_hits: int
+    pages_scanned: int
+    scan_ns: int
+    cow_faults: int
+    coa_faults: int
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one streaming fleet run."""
+
+    samples: list[FleetSample] = field(default_factory=list)
+    totals: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-able payload (what artifacts byte-compare)."""
+        return {
+            "samples": [asdict(sample) for sample in self.samples],
+            "totals": self.totals,
+        }
+
+
+class _ResidentVm:
+    """Driver-side state of one booted, not-yet-retired VM."""
+
+    def __init__(self, plan: VmPlan, vm: GuestVm, depart_at: int) -> None:
+        self.plan = plan
+        self.vm = vm
+        self.depart_at = depart_at
+        self.rng = random.Random(plan.seed)
+        self.ops = 0
+        #: Adversary probe pages: (candidate_addr, candidate_content,
+        #: control_addr, control_content) tuples.
+        self.probes: list[tuple[int, object, int, object]] = []
+
+
+class FleetDriver:
+    """Executes a :class:`ScenarioSpec`'s fleet plan, streaming.
+
+    ``scenario`` defaults to ``Scenario.from_spec(spec)``; passing an
+    imperatively built equivalent is how the differential tests prove
+    the spec layer adds no behaviour of its own.  ``on_chunk(driver,
+    event)`` fires after every boot/retire chunk and sample — the
+    staged-scale benchmark hangs its host-RSS sampling there, keeping
+    nondeterministic host measurements out of the simulated results.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        scenario: Scenario | None = None,
+        on_chunk=None,
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario or Scenario.from_spec(spec)
+        self.on_chunk = on_chunk
+        self.images = fleet_images(spec.fleet)
+        self.plan = generate_plan(spec)
+        self.result = FleetResult()
+        self.booted = 0
+        self.retired = 0
+        self.probes = 0
+        self.probe_hits = 0
+        self.peak_resident = 0
+        self.peak_frames_in_use = 0
+        self.peak_saved_frames = 0
+        self._resident: list[_ResidentVm] = []
+
+    # -- event hooks ----------------------------------------------------
+    def _chunk(self, event: str) -> None:
+        if self.on_chunk is not None:
+            self.on_chunk(self, event)
+
+    # -- lifecycle ------------------------------------------------------
+    def _boot_one(self, plan: VmPlan, now: int) -> None:
+        vm = self.scenario.boot(self.images[plan.image_index], name=plan.name)
+        resident = _ResidentVm(plan, vm, depart_at=now + plan.lifetime_ns)
+        if plan.role == "adversarial":
+            self._plant_probes(resident)
+        self._resident.append(resident)
+        self.booted += 1
+        self.peak_resident = max(self.peak_resident, len(self._resident))
+
+    def _retire_due(self, now: int) -> int:
+        due = [r for r in self._resident if r.depart_at <= now]
+        for resident in due:
+            self.scenario.retire(resident.vm)
+            self._resident.remove(resident)
+            self.retired += 1
+        return len(due)
+
+    def _plant_probes(self, resident: _ResidentVm) -> None:
+        """Set up the distinguishing game in the VM's app region.
+
+        Candidates duplicate the page cache of the *next* image family
+        (cross-tenant content the adversary guesses a victim holds);
+        controls are unique.  Probing times same-content rewrites of
+        both — exactly the architectural information an attacker has.
+        """
+        plan = resident.plan
+        victim = self.images[(plan.image_index + 1) % len(self.images)]
+        vm = resident.vm
+        probes = min(self.spec.schedule.adversary_probes,
+                     vm.image.app_pages // 2)
+        for slot in range(probes):
+            candidate_addr = vm.page_addr("rest", 2 * slot)
+            control_addr = vm.page_addr("rest", 2 * slot + 1)
+            candidate = tagged_content("guest-page-cache", victim.distro, slot)
+            control = tagged_content("fleet-adv-control", plan.name, slot)
+            vm.process.write(candidate_addr, candidate)
+            vm.process.write(control_addr, control)
+            resident.probes.append(
+                (candidate_addr, candidate, control_addr, control)
+            )
+
+    # -- per-tick guest traffic ----------------------------------------
+    def _tick_idle(self, resident: _ResidentVm) -> None:
+        if resident.ops % 4 == 0:
+            vm = resident.vm
+            vm.process.read(
+                vm.page_addr("page_cache",
+                             resident.rng.randrange(vm.image.page_cache_pages))
+            )
+        resident.ops += 1
+
+    def _tick_active(self, resident: _ResidentVm) -> None:
+        vm = resident.vm
+        for _ in range(self.spec.schedule.active_ops):
+            index = skewed_index(resident.rng, vm.image.app_pages)
+            vm.process.write(
+                vm.page_addr("rest", index),
+                tagged_content("fleet-app", resident.plan.name,
+                               index, resident.ops),
+            )
+            resident.ops += 1
+        vm.process.read(
+            vm.page_addr("page_cache",
+                         resident.rng.randrange(vm.image.page_cache_pages))
+        )
+
+    def _tick_adversarial(self, resident: _ResidentVm) -> None:
+        threshold = self.scenario.kernel.costs.copy_page
+        for candidate_addr, candidate, control_addr, control in resident.probes:
+            cand_ns = resident.vm.process.write(candidate_addr,
+                                                candidate).latency
+            ctrl_ns = resident.vm.process.write(control_addr,
+                                                control).latency
+            self.probes += 1
+            if cand_ns - ctrl_ns > threshold:
+                self.probe_hits += 1
+        resident.ops += 1
+
+    _TICKS = {
+        "idle": _tick_idle,
+        "active": _tick_active,
+        "adversarial": _tick_adversarial,
+    }
+
+    # -- sampling -------------------------------------------------------
+    def _sample(self) -> None:
+        scenario = self.scenario
+        kernel = scenario.kernel
+        engine = scenario.engine
+        if engine is not None:
+            shared, sharing = engine.sharing_pairs()
+            pages_scanned = engine.stats.pages_scanned
+        else:
+            shared = sharing = pages_scanned = 0
+        frames_in_use = kernel.frames_in_use()
+        saved_frames = scenario.saved_frames()
+        self.peak_frames_in_use = max(self.peak_frames_in_use, frames_in_use)
+        self.peak_saved_frames = max(self.peak_saved_frames, saved_frames)
+        self.result.samples.append(
+            FleetSample(
+                t_ns=kernel.clock.now,
+                booted=self.booted,
+                retired=self.retired,
+                resident=len(self._resident),
+                frames_in_use=frames_in_use,
+                saved_frames=saved_frames,
+                pages_shared=shared,
+                pages_sharing=sharing,
+                probes=self.probes,
+                probe_hits=self.probe_hits,
+                pages_scanned=pages_scanned,
+                scan_ns=sum(kernel.stats.daemon_ns.values()),
+                cow_faults=kernel.stats.cow_faults,
+                coa_faults=kernel.stats.coa_faults,
+            )
+        )
+        self._chunk("sample")
+
+    # -- main loop ------------------------------------------------------
+    def run(self) -> FleetResult:
+        spec = self.spec
+        schedule = spec.schedule
+        kernel = self.scenario.kernel
+        pending = list(self.plan)  # already arrival-ordered
+        cursor = 0
+        next_sample = kernel.clock.now + schedule.sample_interval_ns
+        while cursor < len(pending) or self._resident:
+            now = kernel.clock.now
+            if self._retire_due(now):
+                self._chunk("retire")
+            boots = 0
+            while (
+                cursor < len(pending)
+                and pending[cursor].arrival_ns <= now
+                and len(self._resident) < spec.fleet.max_resident
+                and boots < schedule.boot_chunk
+            ):
+                self._boot_one(pending[cursor], now)
+                cursor += 1
+                boots += 1
+            if boots:
+                self._chunk("boot")
+            for resident in list(self._resident):
+                self._TICKS[resident.plan.role](self, resident)
+            kernel.idle(schedule.tick_ns)
+            if kernel.clock.now >= next_sample:
+                self._sample()
+                next_sample += schedule.sample_interval_ns
+        settle_end = kernel.clock.now + schedule.settle_ns
+        while kernel.clock.now < settle_end:
+            kernel.idle(min(schedule.sample_interval_ns,
+                            settle_end - kernel.clock.now))
+            self._sample()
+        if not self.result.samples:
+            self._sample()
+        self._finalize()
+        return self.result
+
+    def _finalize(self) -> None:
+        scenario = self.scenario
+        kernel = scenario.kernel
+        engine = scenario.engine
+        totals = {
+            "booted_vms": self.booted,
+            "retired_vms": self.retired,
+            "booted_pages": self.booted * self.spec.fleet.pages_per_vm,
+            "peak_resident_vms": self.peak_resident,
+            "peak_frames_in_use": self.peak_frames_in_use,
+            "final_frames_in_use": kernel.frames_in_use(),
+            "final_saved_frames": scenario.saved_frames(),
+            "peak_saved_frames": self.peak_saved_frames,
+            "probes": self.probes,
+            "probe_hits": self.probe_hits,
+            "cow_faults": kernel.stats.cow_faults,
+            "coa_faults": kernel.stats.coa_faults,
+            "scan_ns": sum(kernel.stats.daemon_ns.values()),
+            "daemon_ns": {name: kernel.stats.daemon_ns[name]
+                          for name in sorted(kernel.stats.daemon_ns)},
+            "clock_ns": kernel.clock.now,
+        }
+        if engine is not None:
+            totals["merges"] = engine.stats.merges
+            totals["fake_merges"] = engine.stats.fake_merges
+            totals["pages_scanned"] = engine.stats.pages_scanned
+        else:
+            totals["merges"] = totals["fake_merges"] = 0
+            totals["pages_scanned"] = 0
+        self.result.totals = totals
+
+
+def run_fleet(spec: ScenarioSpec, scenario: Scenario | None = None,
+              on_chunk=None) -> FleetResult:
+    """Convenience wrapper: build the driver and run it to completion."""
+    return FleetDriver(spec, scenario=scenario, on_chunk=on_chunk).run()
+
+
+# ---------------------------------------------------------------------------
+# Presets (consumed by the runner's fleet tasks and the CLI)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetPreset:
+    """A named, scale-aware fleet scenario family."""
+
+    name: str
+    description: str
+    fleet_quick: FleetSpec
+    fleet_full: FleetSpec
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    frames: int = 32768
+
+    def spec(self, system: str = "ksm", scale: str = "quick",
+             seed: int = 1017) -> ScenarioSpec:
+        if scale not in ("quick", "full"):
+            raise ValueError(f"unknown scale {scale!r} (quick or full)")
+        fleet = self.fleet_full if scale == "full" else self.fleet_quick
+        return ScenarioSpec(
+            name=f"{self.name}-{system}",
+            system=SystemConfig.preset(system),
+            fleet=fleet,
+            schedule=self.schedule,
+            frames=self.frames,
+            seed=seed,
+        )
+
+
+FLEET_PRESETS: dict[str, FleetPreset] = {
+    preset.name: preset
+    for preset in (
+        FleetPreset(
+            name="smoke",
+            description="tiny fleet for CI and determinism tests",
+            fleet_quick=FleetSpec(vms=6, image_families=2, pages_per_vm=256,
+                                  max_resident=4, lifetime_ns=2 * SECOND),
+            fleet_full=FleetSpec(vms=12, image_families=2, pages_per_vm=256,
+                                 max_resident=6, lifetime_ns=2 * SECOND),
+            schedule=ScheduleSpec(settle_ns=SECOND),
+            frames=16384,
+        ),
+        FleetPreset(
+            name="consolidation",
+            description="steady-state cloud consolidation (default mix)",
+            fleet_quick=FleetSpec(vms=16, image_families=3),
+            fleet_full=FleetSpec(vms=48, image_families=4, max_resident=16),
+        ),
+        FleetPreset(
+            name="churn",
+            description="short leases, fast arrivals: retirement-heavy",
+            fleet_quick=FleetSpec(vms=20, image_families=3,
+                                  arrival_interval_ns=125 * MS,
+                                  lifetime_ns=2 * SECOND, max_resident=8),
+            fleet_full=FleetSpec(vms=64, image_families=4,
+                                 arrival_interval_ns=125 * MS,
+                                 lifetime_ns=2 * SECOND, max_resident=12),
+        ),
+        FleetPreset(
+            name="adversarial",
+            description="hostile tenant mix: half the fleet probes for "
+                        "cross-VM merges",
+            fleet_quick=FleetSpec(vms=12, image_families=2,
+                                  idle_fraction=0.25, active_fraction=0.25,
+                                  adversarial_fraction=0.5),
+            fleet_full=FleetSpec(vms=32, image_families=3,
+                                 idle_fraction=0.25, active_fraction=0.25,
+                                 adversarial_fraction=0.5, max_resident=16),
+            schedule=ScheduleSpec(adversary_probes=8),
+        ),
+    )
+}

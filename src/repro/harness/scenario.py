@@ -17,6 +17,10 @@ absolute numbers — are the reproduction target.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.spec import ScenarioSpec
 
 from repro.analysis.metrics import MemorySample, take_sample
 from repro.fusion.registry import create_engine
@@ -57,6 +61,30 @@ class SystemConfig:
     def with_(self, **overrides) -> "SystemConfig":
         return replace(self, **overrides)
 
+    @classmethod
+    def preset(cls, name: str) -> "SystemConfig":
+        """The single factory entry point for the paper's four columns.
+
+        ``name`` is one of ``"nodedup"``, ``"ksm"``, ``"vusion"``,
+        ``"vusion_thp"`` — benchmarks and fleet specs reference columns
+        by this key instead of re-declaring the configs by hand.
+        """
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown system preset {name!r} "
+                f"(known: {', '.join(PRESETS)})"
+            ) from None
+
+    @property
+    def preset_name(self) -> str | None:
+        """The preset key this config equals, if any (for serialization)."""
+        for name, config in PRESETS.items():
+            if config == self:
+                return name
+        return None
+
 
 NO_DEDUP = SystemConfig("No Dedup", engine=None, khugepaged="insecure")
 KSM_CONFIG = SystemConfig("KSM", engine="ksm", khugepaged="insecure")
@@ -64,6 +92,14 @@ VUSION_CONFIG = SystemConfig("VUsion", engine="vusion", khugepaged=None)
 VUSION_THP_CONFIG = SystemConfig(
     "VUsion THP", engine="vusion", khugepaged="secure", conserve_thp=True
 )
+
+#: Preset keys for :meth:`SystemConfig.preset`, in paper-column order.
+PRESETS: dict[str, SystemConfig] = {
+    "nodedup": NO_DEDUP,
+    "ksm": KSM_CONFIG,
+    "vusion": VUSION_CONFIG,
+    "vusion_thp": VUSION_THP_CONFIG,
+}
 
 #: The four columns of Tables 2/4/5/6/7 and Figs. 7-12.
 STANDARD_CONFIGS = [NO_DEDUP, KSM_CONFIG, VUSION_CONFIG, VUSION_THP_CONFIG]
@@ -116,6 +152,17 @@ class Scenario:
         self.vms: list[GuestVm] = []
         self.samples: list[MemorySample] = []
 
+    @classmethod
+    def from_spec(cls, spec: "ScenarioSpec") -> "Scenario":
+        """Build the execution backend of a declarative spec.
+
+        The spec carries everything the imperative constructor takes, so
+        ``Scenario.from_spec(spec)`` and hand-wired
+        ``Scenario(spec.system, frames=..., seed=...)`` are the same
+        machine — the differential tests pin this byte for byte.
+        """
+        return cls(spec.system, frames=spec.frames, seed=spec.seed)
+
     # ------------------------------------------------------------------
     # VM management
     # ------------------------------------------------------------------
@@ -124,6 +171,11 @@ class Scenario:
         vm = boot_vm(self.kernel, vm_name, image)
         self.vms.append(vm)
         return vm
+
+    def retire(self, vm: GuestVm) -> None:
+        """Shut a VM down, releasing every frame it held."""
+        self.kernel.destroy_process(vm.process)
+        self.vms.remove(vm)
 
     # ------------------------------------------------------------------
     # Time and sampling

@@ -1,0 +1,257 @@
+"""Declarative, JSON-serializable scenario specifications.
+
+A :class:`ScenarioSpec` describes a complete consolidation scenario —
+which system column runs (:class:`~repro.harness.scenario.SystemConfig`),
+what fleet of VMs arrives (:class:`FleetSpec`) and how the driver paces
+them (:class:`ScheduleSpec`) — as plain validated dataclasses that
+round-trip through JSON byte for byte.  The imperative
+:class:`~repro.harness.scenario.Scenario` is the execution backend of a
+spec (``Scenario.from_spec``); everything above it (runner tasks, CLI,
+benchmarks) passes specs around instead of hand-wiring kernels.
+
+Determinism: every random decision a spec implies (arrival jitter,
+image choice, tenant roles, per-VM traffic) is keyed by a seed derived
+from ``(spec.seed, stable label)`` through the runner's SHA-256
+derivation (:func:`repro.runner.seeds.derive_seed`), so two runs of the
+same spec — serial or parallel, today or in CI — replay identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any
+
+from repro.harness.scenario import SystemConfig
+from repro.params import MS, SECOND
+# seeds is the runner's dependency-free leaf module (pure hashlib); the
+# layering exemption for it is explicit in repro.check.rules.
+from repro.runner.seeds import derive_seed
+
+#: Bumped when the serialized shape changes incompatibly.
+SPEC_VERSION = 1
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid spec: {message}")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """What arrives: the VM population of a consolidation scenario."""
+
+    #: Total VMs booted over the scenario's lifetime.
+    vms: int = 8
+    #: Distinct images in the registry; images cycle through the distro
+    #: catalogue, so same-distro families share kernel/page-cache/stale
+    #: pages even across different images.
+    image_families: int = 2
+    #: Pages per VM (split across regions in the paper's Table 3
+    #: proportions).  Scaling total frames = vms * pages_per_vm.
+    pages_per_vm: int = 448
+    #: Tenant mix — fractions must sum to 1.
+    idle_fraction: float = 0.625
+    active_fraction: float = 0.25
+    adversarial_fraction: float = 0.125
+    #: Mean spacing between VM arrivals (simulated ns, jittered).
+    arrival_interval_ns: int = 250 * MS
+    #: Mean VM lifetime from boot to retirement (simulated ns).
+    lifetime_ns: int = 4 * SECOND
+    #: Relative jitter applied to arrivals and lifetimes (0 = none).
+    churn_jitter: float = 0.5
+    #: Peak co-resident VMs; arrivals beyond this wait for a departure.
+    #: This is the streaming window that keeps peak RSS flat while the
+    #: cumulative booted-frame count scales to millions.
+    max_resident: int = 12
+
+    def __post_init__(self) -> None:
+        _require(self.vms >= 1, "fleet.vms must be >= 1")
+        _require(1 <= self.image_families, "fleet.image_families must be >= 1")
+        _require(self.pages_per_vm >= 16, "fleet.pages_per_vm must be >= 16")
+        mix = (self.idle_fraction, self.active_fraction,
+               self.adversarial_fraction)
+        _require(all(f >= 0 for f in mix), "tenant fractions must be >= 0")
+        _require(abs(sum(mix) - 1.0) < 1e-9,
+                 f"tenant fractions must sum to 1 (got {sum(mix)})")
+        _require(self.arrival_interval_ns > 0,
+                 "fleet.arrival_interval_ns must be positive")
+        _require(self.lifetime_ns > 0, "fleet.lifetime_ns must be positive")
+        _require(0.0 <= self.churn_jitter < 1.0,
+                 "fleet.churn_jitter must be in [0, 1)")
+        _require(self.max_resident >= 1, "fleet.max_resident must be >= 1")
+
+    @property
+    def total_pages(self) -> int:
+        """Cumulative pages booted over the whole scenario."""
+        return self.vms * self.pages_per_vm
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """How the driver paces a fleet: chunking, sampling, guest traffic."""
+
+    #: VMs booted per driver step — the streaming chunk size.
+    boot_chunk: int = 4
+    #: Simulated time between driver steps (guest traffic + churn).
+    tick_ns: int = 125 * MS
+    #: Simulated time between memory samples.
+    sample_interval_ns: int = 500 * MS
+    #: Tail idle after the last departure, letting engines converge.
+    settle_ns: int = 2 * SECOND
+    #: Guest-side operations per tick for active tenants.
+    active_ops: int = 4
+    #: Duplicate-content probe pages per adversarial tenant.
+    adversary_probes: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.boot_chunk >= 1, "schedule.boot_chunk must be >= 1")
+        _require(self.tick_ns > 0, "schedule.tick_ns must be positive")
+        _require(self.sample_interval_ns >= self.tick_ns,
+                 "schedule.sample_interval_ns must be >= tick_ns")
+        _require(self.settle_ns >= 0, "schedule.settle_ns must be >= 0")
+        _require(self.active_ops >= 0, "schedule.active_ops must be >= 0")
+        _require(self.adversary_probes >= 0,
+                 "schedule.adversary_probes must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable consolidation scenario."""
+
+    name: str
+    system: SystemConfig
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    #: Machine size in frames (fixed; the fleet streams through it).
+    frames: int = 32768
+    #: Root seed; all per-VM seeds derive from it (see :meth:`vm_seed`).
+    seed: int = 1017
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "name must be non-empty")
+        _require(isinstance(self.system, SystemConfig),
+                 "system must be a SystemConfig")
+        _require(self.frames >= 1024, "frames must be >= 1024")
+        _require(self.seed >= 0, "seed must be >= 0")
+        # The streaming window must fit the machine: peak co-resident
+        # pages (plus THP/pool slack) cannot exceed physical frames.
+        resident = min(self.fleet.vms, self.fleet.max_resident)
+        peak = resident * self.fleet.pages_per_vm
+        _require(peak <= self.frames,
+                 f"max co-resident pages ({peak}) exceed machine frames "
+                 f"({self.frames}); lower fleet.max_resident or "
+                 "fleet.pages_per_vm, or raise frames")
+
+    def with_(self, **overrides: Any) -> "ScenarioSpec":
+        return replace(self, **overrides)
+
+    # -- derived seeds --------------------------------------------------
+    def derived_seed(self, label: str) -> int:
+        """Seed for one named random decision within this scenario."""
+        return derive_seed(self.seed, f"scenario:{self.name}:{label}")
+
+    def vm_seed(self, index: int) -> int:
+        """Per-VM seed: stable under any change to *other* VMs."""
+        return self.derived_seed(f"vm{index}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "system": asdict(self.system),
+            "fleet": asdict(self.fleet),
+            "schedule": asdict(self.schedule),
+            "frames": self.frames,
+            "seed": self.seed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        _require(isinstance(data, dict), "spec document must be an object")
+        payload = dict(data)
+        version = payload.pop("version", SPEC_VERSION)
+        _require(version == SPEC_VERSION,
+                 f"unsupported spec version {version!r} "
+                 f"(this build reads version {SPEC_VERSION})")
+        system = payload.pop("system", None)
+        _require(system is not None, "missing required key 'system'")
+        if isinstance(system, str):
+            system_config = SystemConfig.preset(system)
+        else:
+            system_config = _load_section(SystemConfig, system, "system")
+        fleet = _load_section(FleetSpec, payload.pop("fleet", {}), "fleet")
+        schedule = _load_section(ScheduleSpec, payload.pop("schedule", {}),
+                                 "schedule")
+        known = {"name", "frames", "seed"}
+        unknown = sorted(set(payload) - known)
+        _require(not unknown, f"unknown key(s) {', '.join(unknown)}")
+        _require("name" in payload, "missing required key 'name'")
+        return cls(
+            name=payload["name"],
+            system=system_config,
+            fleet=fleet,
+            schedule=schedule,
+            frames=payload.get("frames", 32768),
+            seed=payload.get("seed", 1017),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- schema ---------------------------------------------------------
+    @classmethod
+    def schema(cls) -> dict:
+        """Field -> type-name map of the serialized form.
+
+        Pinned by ``tests/data/scenario_spec_schema.golden.json`` so a
+        field rename/retype shows up as a reviewed diff, not a silent
+        compatibility break for saved specs.
+        """
+        def section(datacls) -> dict:
+            return {
+                f.name: str(f.type)
+                for f in sorted(fields(datacls), key=lambda f: f.name)
+            }
+
+        return {
+            "version": SPEC_VERSION,
+            "scenario": {
+                "name": "str",
+                "system": "SystemConfig | preset name",
+                "fleet": "FleetSpec",
+                "schedule": "ScheduleSpec",
+                "frames": "int",
+                "seed": "int",
+            },
+            "system": section(SystemConfig),
+            "fleet": section(FleetSpec),
+            "schedule": section(ScheduleSpec),
+        }
+
+
+def _load_section(datacls, data: Any, where: str):
+    """Build one nested section strictly (unknown keys rejected)."""
+    _require(isinstance(data, dict), f"{where} must be an object")
+    known = {f.name for f in fields(datacls)}
+    unknown = sorted(set(data) - known)
+    _require(not unknown,
+             f"unknown {where} key(s) {', '.join(unknown)}")
+    values = {key: _load_value(value) for key, value in data.items()}
+    try:
+        return datacls(**values)
+    except TypeError as exc:  # e.g. a required field is missing
+        raise ValueError(f"invalid spec: bad {where} section: {exc}") from None
+
+
+def _load_value(value: Any) -> Any:
+    # JSON has no tuples; frozen dataclass fields that were tuples come
+    # back as lists and are restored here.
+    if isinstance(value, list):
+        return tuple(_load_value(item) for item in value)
+    return value

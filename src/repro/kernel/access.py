@@ -55,6 +55,9 @@ class KernelStats:
     frames_allocated: int = 0
     frames_freed: int = 0
     by_fault_kind: dict = field(default_factory=dict)
+    #: Simulated ns each registered daemon has consumed, by daemon name
+    #: — the scan-overhead ledger the fleet scale curves report.
+    daemon_ns: dict = field(default_factory=dict)
 
     def count_fault(self, kind: str) -> None:
         self.by_fault_kind[kind] = self.by_fault_kind.get(kind, 0) + 1

@@ -124,8 +124,32 @@ class Kernel:
     def processes(self) -> tuple[Process, ...]:
         return tuple(self._processes.values())
 
+    def destroy_process(self, process: Process) -> None:
+        """Tear a process down completely (VM retirement).
+
+        Every VMA is unmapped through the regular :meth:`munmap` path —
+        fused frames go through ``on_fused_ref_drop``, huge pages are
+        released as a block — so retirement frees exactly the frames the
+        process still owned.  Scan cursors and the metrics layer already
+        tolerate dead processes (``process.alive``), so a fusion pass in
+        flight simply skips the retired VM on its next step.
+        """
+        for vma in list(process.address_space.vmas):
+            self.munmap(process, vma)
+        process.alive = False
+        self._processes.pop(process.pid, None)
+
     def register_daemon(self, name: str, period: int, callback) -> Daemon:
-        return self.scheduler.register(Daemon(name, period, callback), self.clock.now)
+        def timed_tick() -> None:
+            start = self.clock.now
+            callback()
+            self.stats.daemon_ns[name] = (
+                self.stats.daemon_ns.get(name, 0) + self.clock.now - start
+            )
+
+        return self.scheduler.register(
+            Daemon(name, period, timed_tick), self.clock.now
+        )
 
     def run_due_daemons(self) -> None:
         self.scheduler.run_due(self.clock.now)
@@ -281,6 +305,10 @@ class Kernel:
 
     def munmap(self, process: Process, vma: Vma) -> None:
         """Tear down every mapping of a VMA and release its frames."""
+        if vma.mergeable and self.fusion is not None:
+            # Engines drop their candidate references into the region
+            # (KSM rmap_item-style) before any of its frames are freed.
+            self.fusion.on_mergeable_unmapped(process, vma)
         vaddr = vma.start
         page_table = process.address_space.page_table
         while vaddr < vma.end:

@@ -12,6 +12,10 @@ Accepted selectors (``python -m repro run <selector>...``):
 ``attack:<name>[@<engine>]``
     One attack cell; the engine defaults to the attack's published
     insecure target.
+``fleet:<preset>[@<system>]``
+    One spec-driven fleet scenario (see
+    :data:`repro.harness.fleet.FLEET_PRESETS`) against one system
+    preset — or, with no ``@<system>``, against all four columns.
 ``matrix``
     The full security matrix: every Table-1 attack against every
     engine in :data:`MATRIX_ENGINES` (insecure baselines and VUsion).
@@ -76,12 +80,21 @@ def expand_selectors(selectors, *, select_all: bool = False,
             spec = word[len("attack:"):]
             name, _, engine = spec.partition("@")
             tasks.append(TaskSpec.attack(name, target=engine or None))
+        elif word.startswith("fleet:"):
+            from repro.harness.scenario import PRESETS
+
+            spec = word[len("fleet:"):]
+            name, _, system = spec.partition("@")
+            systems = (system,) if system else tuple(PRESETS)
+            tasks.extend(TaskSpec.fleet(name, system=sys_name, scale=scale)
+                         for sys_name in systems)
         elif word in EXPERIMENTS:
             tasks.append(TaskSpec.experiment(word, scale=scale))
         else:
             raise ValueError(
                 f"unknown selector {word!r} (experiment name, tag:<tag>, "
-                f"attack:<name>[@<engine>], 'matrix' or 'all')"
+                f"attack:<name>[@<engine>], fleet:<preset>[@<system>], "
+                f"'matrix' or 'all')"
             )
     seen: set[str] = set()
     unique: list[TaskSpec] = []

@@ -19,7 +19,7 @@ from repro.annotations import artifact_boundary
 from repro.runner.artifacts import sanitize
 
 #: Task kinds understood by :func:`execute_task`.
-KINDS = ("experiment", "attack", "selftest")
+KINDS = ("experiment", "attack", "fleet", "selftest")
 
 
 def _freeze(params: dict) -> tuple:
@@ -73,6 +73,23 @@ class TaskSpec:
         return cls(kind="attack", name=name, params=_freeze(params), seed=seed)
 
     @classmethod
+    def fleet(cls, preset: str, system: str = "ksm", scale: str = "quick",
+              seed: int | None = None) -> "TaskSpec":
+        from repro.harness.fleet import FLEET_PRESETS
+        from repro.harness.scenario import PRESETS
+
+        if preset not in FLEET_PRESETS:
+            raise ValueError(f"unknown fleet preset {preset!r} "
+                             f"(known: {', '.join(FLEET_PRESETS)})")
+        if system not in PRESETS:
+            raise ValueError(f"unknown system preset {system!r} "
+                             f"(known: {', '.join(PRESETS)})")
+        if scale not in ("quick", "full"):
+            raise ValueError(f"unknown scale {scale!r}")
+        return cls(kind="fleet", name=preset, scale=scale, seed=seed,
+                   params=_freeze({"system": system}))
+
+    @classmethod
     def selftest(cls, name: str, **params) -> "TaskSpec":
         return cls(kind="selftest", name=name, params=_freeze(params))
 
@@ -85,6 +102,9 @@ class TaskSpec:
         """Stable identity: seed derivation and artifact names key on it."""
         if self.kind == "attack":
             return f"attack:{self.name}@{self.param('target')}"
+        if self.kind == "fleet":
+            base = f"fleet:{self.name}@{self.param('system')}"
+            return base if self.scale == "quick" else f"{base}#{self.scale}"
         if self.kind == "experiment" and self.scale != "quick":
             return f"experiment:{self.name}#{self.scale}"
         return f"{self.kind}:{self.name}"
@@ -94,7 +114,8 @@ class TaskSpec:
         return {
             "kind": self.kind,
             "name": self.name,
-            "scale": self.scale if self.kind == "experiment" else None,
+            "scale": (self.scale if self.kind in ("experiment", "fleet")
+                      else None),
             "params": {str(k): sanitize(v) for k, v in self.params},
             "explicit_seed": self.seed,
         }
@@ -141,6 +162,26 @@ def _run_attack(spec: TaskSpec, seed: int) -> dict:
 
 
 @artifact_boundary
+def _run_fleet(spec: TaskSpec, seed: int) -> dict:
+    from repro.harness.fleet import FLEET_PRESETS, FleetDriver
+
+    scenario_spec = FLEET_PRESETS[spec.name].spec(
+        system=spec.param("system"), scale=spec.scale, seed=seed,
+    )
+    result = FleetDriver(scenario_spec).run()
+    return {
+        "type": "fleet",
+        "preset": spec.name,
+        "system": spec.param("system"),
+        "scale": spec.scale,
+        "spec": sanitize(scenario_spec.to_dict()),
+        "samples": sanitize(result.to_payload()["samples"]),
+        "totals": sanitize(result.totals),
+        "checks_pass": None,
+    }
+
+
+@artifact_boundary
 def _run_selftest(spec: TaskSpec, seed: int, attempt: int) -> dict:
     """Controlled misbehaviour for pool tests and crash-injection runs.
 
@@ -180,4 +221,6 @@ def execute_task(spec: TaskSpec, seed: int, attempt: int = 0) -> dict:
         return _run_experiment(spec, seed)
     if spec.kind == "attack":
         return _run_attack(spec, seed)
+    if spec.kind == "fleet":
+        return _run_fleet(spec, seed)
     return _run_selftest(spec, seed, attempt)

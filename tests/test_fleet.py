@@ -1,0 +1,173 @@
+"""Fleet generator + streaming driver: plan determinism, the streaming
+window, spec-vs-imperative equivalence, runner byte-identity, and the
+paper's probe asymmetry at fleet scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.fleet import (
+    FLEET_PRESETS,
+    FleetDriver,
+    fleet_images,
+    generate_plan,
+    run_fleet,
+)
+from repro.harness.scenario import Scenario, SystemConfig
+from repro.harness.spec import FleetSpec
+from repro.runner import RunnerConfig, TaskSpec, canonical_json, run_tasks
+
+
+def smoke_spec(system: str = "ksm", seed: int = 1017):
+    return FLEET_PRESETS["smoke"].spec(system=system, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def ksm_result():
+    return run_fleet(smoke_spec("ksm"))
+
+
+@pytest.fixture(scope="module")
+def vusion_result():
+    return run_fleet(smoke_spec("vusion"))
+
+
+# ----------------------------------------------------------------------
+# Plan generation
+# ----------------------------------------------------------------------
+class TestGeneratePlan:
+    def test_same_spec_same_plan(self):
+        assert generate_plan(smoke_spec()) == generate_plan(smoke_spec())
+
+    def test_seed_changes_plan(self):
+        a = generate_plan(smoke_spec(seed=1))
+        b = generate_plan(smoke_spec(seed=2))
+        assert a != b
+
+    def test_plan_covers_the_fleet_in_arrival_order(self):
+        spec = smoke_spec()
+        plan = generate_plan(spec)
+        assert len(plan) == spec.fleet.vms
+        arrivals = [vm.arrival_ns for vm in plan]
+        assert arrivals == sorted(arrivals)
+        assert all(vm.lifetime_ns > 0 for vm in plan)
+
+    def test_roles_follow_the_tenant_mix(self):
+        spec = smoke_spec()
+        roles = [vm.role for vm in generate_plan(spec)]
+        fleet = spec.fleet
+        assert roles.count("adversarial") == round(
+            fleet.vms * fleet.adversarial_fraction)
+        assert roles.count("active") == round(fleet.vms
+                                              * fleet.active_fraction)
+
+    def test_per_vm_seeds_come_from_the_spec(self):
+        spec = smoke_spec()
+        for vm in generate_plan(spec):
+            assert vm.seed == spec.vm_seed(vm.index)
+
+
+class TestFleetImages:
+    def test_registry_size_and_page_budget(self):
+        fleet = FleetSpec(image_families=4, pages_per_vm=448)
+        images = fleet_images(fleet)
+        assert len(images) == 4
+        for image in images:
+            assert image.total_pages == fleet.pages_per_vm
+
+    def test_families_cycle_the_distro_catalogue(self):
+        images = fleet_images(FleetSpec(image_families=3))
+        assert len({image.distro for image in images}) == 3
+
+
+# ----------------------------------------------------------------------
+# Streaming execution
+# ----------------------------------------------------------------------
+class TestStreaming:
+    def test_window_respects_max_resident(self, ksm_result):
+        spec = smoke_spec()
+        totals = ksm_result.totals
+        assert totals["booted_vms"] == spec.fleet.vms
+        assert totals["retired_vms"] == spec.fleet.vms
+        assert totals["peak_resident_vms"] <= spec.fleet.max_resident
+        assert all(s.resident <= spec.fleet.max_resident
+                   for s in ksm_result.samples)
+
+    def test_retirement_frees_frames(self, ksm_result):
+        totals = ksm_result.totals
+        # Every VM retired; the machine drains back well below its peak.
+        assert totals["final_frames_in_use"] < totals["peak_frames_in_use"] / 2
+
+    def test_peak_frames_bounded_by_window_not_fleet_size(self, ksm_result):
+        spec = smoke_spec()
+        window_pages = spec.fleet.max_resident * spec.fleet.pages_per_vm
+        # Peak usage tracks the co-resident window (plus pool/THP slack),
+        # not the cumulative booted-page count.
+        assert ksm_result.totals["peak_frames_in_use"] <= spec.frames
+        assert ksm_result.totals["booted_pages"] > window_pages
+
+    def test_scan_overhead_is_accounted(self, ksm_result, vusion_result):
+        assert ksm_result.totals["scan_ns"] > 0
+        assert "ksmd" in ksm_result.totals["daemon_ns"] or \
+               ksm_result.totals["daemon_ns"]
+        assert vusion_result.totals["scan_ns"] > 0
+
+    def test_samples_are_monotone_in_time(self, ksm_result):
+        times = [s.t_ns for s in ksm_result.samples]
+        assert times == sorted(times)
+        assert len(times) >= 3
+
+
+# ----------------------------------------------------------------------
+# Spec-driven == imperative (the API-redesign acceptance gate)
+# ----------------------------------------------------------------------
+class TestSpecImperativeDifferential:
+    @pytest.mark.parametrize("system", ["ksm", "vusion"])
+    def test_byte_identical_results(self, system):
+        spec = smoke_spec(system)
+        declarative = FleetDriver(spec).run()
+        imperative_scenario = Scenario(
+            SystemConfig.preset(system), frames=spec.frames, seed=spec.seed
+        )
+        imperative = FleetDriver(spec, scenario=imperative_scenario).run()
+        assert canonical_json(declarative.to_payload()) == \
+               canonical_json(imperative.to_payload())
+
+    def test_rerun_of_same_spec_is_byte_identical(self, ksm_result):
+        again = run_fleet(smoke_spec("ksm"))
+        assert canonical_json(again.to_payload()) == \
+               canonical_json(ksm_result.to_payload())
+
+
+class TestRunnerDeterminism:
+    TASKS = [
+        TaskSpec.fleet("smoke", system="ksm"),
+        TaskSpec.fleet("smoke", system="vusion"),
+    ]
+
+    def test_parallel_matches_serial(self):
+        serial = run_tasks(self.TASKS, root_seed=1017,
+                           config=RunnerConfig(jobs=1))
+        parallel = run_tasks(self.TASKS, root_seed=1017,
+                             config=RunnerConfig(jobs=2))
+        assert [canonical_json(r.payload) for r in serial] == \
+               [canonical_json(r.payload) for r in parallel]
+        assert all(r.payload["type"] == "fleet" for r in serial)
+
+
+# ----------------------------------------------------------------------
+# The paper's asymmetry, measured at fleet scale
+# ----------------------------------------------------------------------
+class TestProbeAsymmetry:
+    def test_ksm_leaks_vusion_blind(self, ksm_result, vusion_result):
+        assert ksm_result.totals["probes"] > 0
+        assert vusion_result.totals["probes"] > 0
+        # KSM: the candidate's CoW break is distinguishable from the
+        # control's plain store.  VUsion: both pages are (fake-)merged
+        # and time identically — the adversary measures nothing.
+        assert ksm_result.totals["probe_hits"] > 0
+        assert vusion_result.totals["probe_hits"] == 0
+
+    def test_both_systems_still_save_memory(self, ksm_result, vusion_result):
+        assert ksm_result.totals["peak_saved_frames"] > 0
+        assert vusion_result.totals["peak_saved_frames"] > 0

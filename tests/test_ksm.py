@@ -7,7 +7,7 @@ import pytest
 from repro.fusion.cow_ksm import CopyOnAccessKsm
 from repro.fusion.ksm import Ksm
 from repro.kernel.kernel import Kernel
-from repro.params import PAGE_SIZE, PAGES_PER_HUGE_PAGE, SECOND
+from repro.params import MS, PAGE_SIZE, PAGES_PER_HUGE_PAGE, SECOND
 
 from tests.conftest import dup, fast_fusion, small_spec
 
@@ -234,3 +234,43 @@ class TestKsmWithThp:
         assert not walk.huge, "THP must be split by the merge"
         assert walk.pte.fused
         assert kernel.stats.thp_splits >= 1
+
+
+class TestTeardownDropsRmapState:
+    """munmap/exit of a mergeable region must drop KSM's references
+    into it (unstable refs, checksums) before the frames are freed —
+    the streaming fleet driver retires whole VMs mid-scan."""
+
+    def test_munmap_purges_unstable_refs_for_the_region(self):
+        kernel, ksm = make_ksm_setup()
+        a = kernel.create_process("vm-a")
+        va = a.mmap(256, mergeable=True)
+        for index in range(256):
+            a.write_page(va, index, dup("solo", index))
+        # Stop mid-way through the second full pass: checksums are
+        # stable, so scanned pages sit in the unstable tree (nothing
+        # merges — every page is unique), and the pass has not yet
+        # completed, so the tree has not been reset.
+        kernel.idle(120 * MS)
+        assert any(ref.pid == a.pid for ref in ksm.unstable.values())
+        kernel.munmap(a, va)
+        assert not any(ref.pid == a.pid for ref in ksm.unstable.values())
+        assert not any(key[0] == a.pid for key in ksm._checksums)
+
+    def test_destroyed_process_frames_never_recompared(self):
+        kernel, ksm = make_ksm_setup()
+        victim = kernel.create_process("victim")
+        vv = victim.mmap(256, mergeable=True)
+        for index in range(256):
+            victim.write_page(vv, index, dup("retire", index))
+        kernel.idle(120 * MS)
+        assert any(ref.pid == victim.pid for ref in ksm.unstable.values())
+        kernel.destroy_process(victim)
+        # A new tenant writes the same contents; the scan must insert
+        # fresh refs and merge among live pages only — under FrameSan
+        # this used to die reading the victim's freed frames.
+        a, b, va, vb = two_vms_with_duplicates(kernel, count=4, tag="retire")
+        kernel.idle(2 * SECOND)
+        assert ksm.saved_frames() > 0
+        assert all(kernel.find_process(ref.pid) is not None
+                   for ref in ksm.unstable.values())

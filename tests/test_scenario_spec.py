@@ -1,0 +1,257 @@
+"""ScenarioSpec serialization contract: JSON round-trips byte for byte,
+validation rejects malformed documents, the serialized schema is pinned
+by a golden file, and derived seeds are stable and independent."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.scenario import PRESETS, SystemConfig
+from repro.harness.spec import (
+    SPEC_VERSION,
+    FleetSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "scenario_spec_schema.golden.json"
+
+
+def smoke_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="unit",
+        system=SystemConfig.preset("ksm"),
+        fleet=FleetSpec(vms=4, pages_per_vm=64, max_resident=2),
+        frames=2048,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# Round-trip property
+# ----------------------------------------------------------------------
+def fleet_specs() -> st.SearchStrategy[FleetSpec]:
+    def build(vms, families, pages, mix, arrival, lifetime, jitter, resident):
+        total = sum(mix)
+        return FleetSpec(
+            vms=vms,
+            image_families=families,
+            pages_per_vm=pages,
+            idle_fraction=mix[0] / total,
+            active_fraction=mix[1] / total,
+            adversarial_fraction=mix[2] / total,
+            arrival_interval_ns=arrival,
+            lifetime_ns=lifetime,
+            churn_jitter=jitter,
+            max_resident=resident,
+        )
+
+    return st.builds(
+        build,
+        vms=st.integers(1, 64),
+        families=st.integers(1, 8),
+        pages=st.integers(16, 64),
+        mix=st.tuples(st.integers(0, 10), st.integers(0, 10),
+                      st.integers(0, 10)).filter(lambda m: sum(m) > 0),
+        arrival=st.integers(1, 10**9),
+        lifetime=st.integers(1, 10**10),
+        jitter=st.floats(0.0, 0.99, allow_nan=False),
+        resident=st.integers(1, 16),
+    )
+
+
+def schedule_specs() -> st.SearchStrategy[ScheduleSpec]:
+    def build(chunk, tick, sample_mult, settle, ops, probes):
+        return ScheduleSpec(
+            boot_chunk=chunk,
+            tick_ns=tick,
+            sample_interval_ns=tick * sample_mult,
+            settle_ns=settle,
+            active_ops=ops,
+            adversary_probes=probes,
+        )
+
+    return st.builds(
+        build,
+        chunk=st.integers(1, 8),
+        tick=st.integers(1, 10**9),
+        sample_mult=st.integers(1, 8),
+        settle=st.integers(0, 10**10),
+        ops=st.integers(0, 16),
+        probes=st.integers(0, 16),
+    )
+
+
+class TestJsonRoundTrip:
+    @given(
+        fleet=fleet_specs(),
+        schedule=schedule_specs(),
+        system=st.sampled_from(sorted(PRESETS)),
+        seed=st.integers(0, 2**63 - 1),
+    )
+    def test_round_trip_is_byte_identical(self, fleet, schedule, system, seed):
+        spec = ScenarioSpec(
+            name="prop",
+            system=SystemConfig.preset(system),
+            fleet=fleet,
+            schedule=schedule,
+            frames=max(1024, min(fleet.vms, fleet.max_resident)
+                       * fleet.pages_per_vm),
+            seed=seed,
+        )
+        text = spec.to_json()
+        revived = ScenarioSpec.from_json(text)
+        assert revived == spec
+        assert revived.to_json() == text
+
+    def test_preset_string_system_loads(self):
+        document = smoke_spec().to_dict()
+        document["system"] = "vusion"
+        spec = ScenarioSpec.from_dict(document)
+        assert spec.system == SystemConfig.preset("vusion")
+        # ...and re-serializes to the expanded form, which round-trips.
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_sections_get_defaults(self):
+        spec = ScenarioSpec.from_dict({"name": "mini", "system": "ksm"})
+        assert spec.fleet == FleetSpec()
+        assert spec.schedule == ScheduleSpec()
+        assert spec.frames == 32768
+
+    def test_json_tuples_revive_as_tuples(self):
+        # JSON has no tuple type; loader restores lists to tuples so the
+        # frozen dataclasses stay hashable.
+        document = smoke_spec().to_dict()
+        revived = ScenarioSpec.from_dict(json.loads(json.dumps(document)))
+        assert revived == smoke_spec()
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        document = smoke_spec().to_dict()
+        document["fleeet"] = {}
+        with pytest.raises(ValueError, match="unknown key"):
+            ScenarioSpec.from_dict(document)
+
+    def test_unknown_section_key_rejected(self):
+        document = smoke_spec().to_dict()
+        document["fleet"]["vm_count"] = 3
+        with pytest.raises(ValueError, match="unknown fleet key"):
+            ScenarioSpec.from_dict(document)
+
+    def test_version_mismatch_rejected(self):
+        document = smoke_spec().to_dict()
+        document["version"] = SPEC_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported spec version"):
+            ScenarioSpec.from_dict(document)
+
+    def test_missing_name_rejected(self):
+        document = smoke_spec().to_dict()
+        del document["name"]
+        with pytest.raises(ValueError, match="missing required key 'name'"):
+            ScenarioSpec.from_dict(document)
+
+    def test_missing_system_rejected(self):
+        with pytest.raises(ValueError, match="missing required key 'system'"):
+            ScenarioSpec.from_dict({"name": "x"})
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            FleetSpec(idle_fraction=0.5, active_fraction=0.5,
+                      adversarial_fraction=0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FleetSpec(idle_fraction=1.5, active_fraction=-0.5,
+                      adversarial_fraction=0.0)
+
+    def test_sample_interval_below_tick_rejected(self):
+        with pytest.raises(ValueError, match="sample_interval_ns"):
+            ScheduleSpec(tick_ns=100, sample_interval_ns=50)
+
+    def test_resident_pages_must_fit_machine(self):
+        with pytest.raises(ValueError, match="exceed machine frames"):
+            smoke_spec(frames=1024,
+                       fleet=FleetSpec(vms=8, pages_per_vm=256,
+                                       max_resident=8))
+
+    def test_incomplete_system_section_reports_value_error(self):
+        document = smoke_spec().to_dict()
+        document["system"] = {"engine": "ksm"}  # label missing
+        with pytest.raises(ValueError, match="bad system section"):
+            ScenarioSpec.from_dict(document)
+
+    def test_unknown_system_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown system preset"):
+            SystemConfig.preset("ballooning")
+
+
+# ----------------------------------------------------------------------
+# System presets
+# ----------------------------------------------------------------------
+class TestSystemPresets:
+    def test_presets_cover_the_papers_four_columns(self):
+        assert set(PRESETS) == {"nodedup", "ksm", "vusion", "vusion_thp"}
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_round_trips_through_name(self, name):
+        config = SystemConfig.preset(name)
+        assert config.preset_name == name
+        assert config == PRESETS[name]
+
+    def test_custom_config_has_no_preset_name(self):
+        custom = SystemConfig.preset("ksm").with_(pages_per_scan=99)
+        assert custom.preset_name is None
+
+
+# ----------------------------------------------------------------------
+# Derived seeds
+# ----------------------------------------------------------------------
+class TestDerivedSeeds:
+    def test_vm_seeds_are_deterministic(self):
+        a, b = smoke_spec(), smoke_spec()
+        assert [a.vm_seed(i) for i in range(8)] == \
+               [b.vm_seed(i) for i in range(8)]
+
+    def test_vm_seeds_are_pairwise_distinct(self):
+        seeds = [smoke_spec().vm_seed(i) for i in range(32)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seeds_depend_on_root_seed_and_name(self):
+        base = smoke_spec()
+        assert base.vm_seed(0) != base.with_(seed=base.seed + 1).vm_seed(0)
+        assert base.vm_seed(0) != base.with_(name="other").vm_seed(0)
+
+    def test_labels_are_independent(self):
+        spec = smoke_spec()
+        assert spec.derived_seed("plan") != spec.derived_seed("vm0")
+
+
+# ----------------------------------------------------------------------
+# Schema golden
+# ----------------------------------------------------------------------
+class TestSchemaGolden:
+    def test_golden_schema(self):
+        document = json.dumps(ScenarioSpec.schema(), indent=2,
+                              sort_keys=True) + "\n"
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(document, encoding="utf-8")
+        assert GOLDEN.exists(), (
+            "golden file missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        assert document == GOLDEN.read_text(encoding="utf-8"), (
+            "serialized spec shape changed: if intentional, bump "
+            "SPEC_VERSION as needed and regenerate with REPRO_REGEN_GOLDEN=1"
+        )

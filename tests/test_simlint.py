@@ -371,6 +371,63 @@ class TestLay001Layering:
         """
         assert lint(clean, "repro.kernel.kernel", ["LAY001"]) == []
 
+    def test_seed_derivation_leaf_exempt_from_harness(self):
+        # repro.runner.seeds is the runner's dependency-free leaf; the
+        # spec layer shares its derivation (see LAYERING_EXEMPT).
+        clean = "from repro.runner.seeds import derive_seed\n"
+        assert lint(clean, "repro.harness.spec", ["LAY001"]) == []
+
+    def test_other_runner_modules_still_forbidden_from_harness(self):
+        findings = lint(
+            "from repro.runner.pool import TaskPool\n",
+            "repro.harness.fleet", ["LAY001"],
+        )
+        assert rule_ids(findings) == ["LAY001"]
+
+
+# ----------------------------------------------------------------------
+# API001 — removed deprecation shims stay removed
+# ----------------------------------------------------------------------
+class TestApi001RemovedShims:
+    def test_flags_import_of_removed_registry(self):
+        findings = lint(
+            "from repro.harness.experiments import EXPERIMENT_REGISTRY\n",
+            "repro.cli", ["API001"],
+        )
+        assert rule_ids(findings) == ["API001"]
+        assert "EXPERIMENTS" in findings[0].message
+
+    def test_flags_bare_name_use(self):
+        findings = lint(
+            "engine = ENGINE_FACTORIES['ksm']()\n",
+            "repro.attacks.dedup", ["API001"],
+        )
+        assert rule_ids(findings) == ["API001"]
+
+    def test_flags_attribute_access(self):
+        findings = lint(
+            """
+            import repro.attacks.base as base
+            table = base.ATTACK_ENV_DEFAULTS
+            """,
+            "tests.test_whatever", ["API001"],
+        )
+        assert rule_ids(findings) == ["API001"]
+
+    def test_typed_replacements_are_clean(self):
+        clean = """
+            from repro.fusion.registry import attack_engine_factories
+            from repro.harness.experiments import EXPERIMENTS
+            factories = attack_engine_factories()
+        """
+        assert lint(clean, "repro.cli", ["API001"]) == []
+
+    def test_old_names_are_gone_from_the_tree(self):
+        # The satellite's proof: linting the real src/ tree with only
+        # API001 enabled finds nothing to flag.
+        result = lint_paths([str(SRC)], rule_ids=["API001"])
+        assert result.findings == []
+
 
 # ----------------------------------------------------------------------
 # Suppression
