@@ -6,9 +6,10 @@ export PYTHONPATH := src
 ## check: everything CI gates on — simlint + tier-1 tests under FrameSan
 check: lint sanitize
 
-## lint: simlint + simflow over the whole tree (exit 1 on any finding)
+## lint: all three static tiers over the whole tree (exit 1 on any
+## finding); the summary cache makes repeat runs incremental
 lint:
-	$(PYTHON) -m repro lint src tests benchmarks examples
+	$(PYTHON) -m repro lint src tests benchmarks examples --strict --cache .lint-cache/summaries.json
 
 ## test: the tier-1 suite, sanitizer off (fastest signal)
 test:

@@ -1,13 +1,20 @@
-"""Lint-throughput regression gate for simlint + simflow.
+"""Lint-throughput regression gates for simlint + simflow.
 
 The flow engine builds a CFG and runs four dataflow fixpoints per
-function, so a careless change (quadratic joins, re-solving per rule
-per statement, unbounded worklists) would quietly turn ``make lint``
-from subsecond into minutes.  This gate runs the full dual-engine
-analysis over the real tree (``src``, ``tests``, ``benchmarks``,
-``examples``) and asserts a per-file time budget, tracked in
+function, and the interprocedural tier adds whole-program summary
+propagation on top, so a careless change (quadratic joins, re-solving
+per rule per statement, unbounded worklists) would quietly turn
+``make lint`` from subsecond into minutes.  Two gates, tracked in
 ``BENCH_lint_throughput.json`` at the repository root like the scan
-and runner gates.
+and runner gates:
+
+* **full tree** — the dual-engine analysis plus interprocedural tier
+  over the real tree (``src``, ``tests``, ``benchmarks``,
+  ``examples``) under a per-file and an absolute time budget;
+* **incremental** — a warm run against the on-disk summary cache
+  (nothing changed, so every file is a content hit and every
+  interprocedural result a dependency-digest hit) must be at least
+  ``WARM_SPEEDUP_MIN``x faster than the cold run that populated it.
 
 Wall-clock budgets are generous (CI machines vary); the point is to
 catch order-of-magnitude regressions, not few-percent noise.
@@ -29,12 +36,28 @@ LINT_PATHS = [
     str(REPO_ROOT / name)
     for name in ("src", "tests", "benchmarks", "examples")
 ]
+SRC_PATHS = [str(REPO_ROOT / "src")]
 REPEATS = 3
 #: Full-tree budget, milliseconds per analyzed file (both engines).
-BUDGET_MS_PER_FILE = 50.0
+BUDGET_MS_PER_FILE = 80.0
 #: And an absolute full-tree ceiling so a file-count collapse cannot
 #: mask a blow-up.
-BUDGET_S_TOTAL = 20.0
+BUDGET_S_TOTAL = 30.0
+#: The incremental gate: warm (all-hit) lint must beat cold by this
+#: factor — the cache has to actually skip the expensive work.
+WARM_SPEEDUP_MIN = 5.0
+
+
+def _update_report(section: str, data: dict) -> None:
+    """Merge one gate's results into the shared benchmark report."""
+    report: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            report = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report[section] = data
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def test_full_tree_lint_stays_under_budget():
@@ -49,7 +72,7 @@ def test_full_tree_lint_stays_under_budget():
     assert result is not None
     assert result.errors == []
     per_file_ms = best * 1000.0 / result.files_scanned
-    report = {
+    _update_report("full_tree", {
         "paths": ["src", "tests", "benchmarks", "examples"],
         "files_scanned": result.files_scanned,
         "findings": len(result.findings),
@@ -57,8 +80,7 @@ def test_full_tree_lint_stays_under_budget():
         "ms_per_file": per_file_ms,
         "budget_ms_per_file": BUDGET_MS_PER_FILE,
         "budget_s_total": BUDGET_S_TOTAL,
-    }
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    })
     print(
         f"\nlint: {result.files_scanned} files in {best:.2f}s "
         f"({per_file_ms:.1f} ms/file), wrote {RESULT_PATH}"
@@ -69,4 +91,45 @@ def test_full_tree_lint_stays_under_budget():
     )
     assert best <= BUDGET_S_TOTAL, (
         f"full-tree lint took {best:.2f}s (budget {BUDGET_S_TOTAL}s)"
+    )
+
+
+def test_incremental_lint_warm_beats_cold(tmp_path):
+    cache_path = str(tmp_path / "lint-cache.json")
+
+    start = time.perf_counter()
+    cold = lint_paths(SRC_PATHS, cache_path=cache_path)
+    cold_seconds = time.perf_counter() - start
+    assert cold.errors == []
+
+    warm_best = float("inf")
+    warm = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        warm = lint_paths(SRC_PATHS, cache_path=cache_path)
+        warm_best = min(warm_best, time.perf_counter() - start)
+    assert warm is not None
+    assert warm.errors == []
+    # Byte-identical results from the cache or the gate means nothing.
+    assert [f.as_dict() for f in warm.findings] == [
+        f.as_dict() for f in cold.findings
+    ]
+
+    speedup = cold_seconds / warm_best
+    _update_report("incremental", {
+        "paths": ["src"],
+        "files_scanned": cold.files_scanned,
+        "cold_wall_seconds": cold_seconds,
+        "warm_wall_seconds": warm_best,
+        "warm_speedup": speedup,
+        "warm_speedup_min": WARM_SPEEDUP_MIN,
+    })
+    print(
+        f"\nincremental lint: cold {cold_seconds:.2f}s, "
+        f"warm {warm_best:.3f}s ({speedup:.1f}x), wrote {RESULT_PATH}"
+    )
+    assert speedup >= WARM_SPEEDUP_MIN, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"(gate {WARM_SPEEDUP_MIN}x) — the summary cache is not "
+        f"skipping the expensive work"
     )

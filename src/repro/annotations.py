@@ -13,6 +13,16 @@ function hands out a raw frame handle *by design* and its caller takes
 ownership"; a per-line ``# simlint: disable=FLOW003`` says "the
 analyzer is wrong here".  Prefer the annotation whenever the escape is
 part of the function's contract.
+
+Since the interprocedural tier landed, annotations are **checked
+claims**: the bottom-up summaries (:mod:`repro.check.summaries`) infer
+escape contracts independently, FLOW006 errors when a decoration
+contradicts the inferred summary (e.g. ``@escapes_frame`` on a
+function that provably returns nothing), and ``repro lint
+--check-annotations`` audits every annotation as *proved* (inference
+derives it — the decoration is redundant and can be dropped),
+*trusted* (inference can neither prove nor refute it) or
+*contradicted*.  Only keep annotations the audit reports as trusted.
 """
 
 from __future__ import annotations
@@ -25,10 +35,17 @@ _F = TypeVar("_F", bound=Callable[..., object])
 def escapes_frame(func: _F) -> _F:
     """Mark a function whose allocated frame handles escape by design.
 
-    FLOW003 (frame-handle leak) skips the body entirely: the function's
-    contract is to return or hand off a raw pfn whose ownership moves
-    to the caller (e.g. an allocator front-end), so intraprocedural
-    leak tracking would be meaningless noise.
+    FLOW003/FLOW003-ip (frame-handle leak) skip the body entirely: the
+    function's contract is to return or hand off a raw pfn whose
+    ownership moves to the caller (e.g. an allocator front-end), so
+    intraprocedural leak tracking would be meaningless noise.  Callers
+    are still checked — the transitive summary records the escape, so
+    FLOW003-ip holds every caller to the consumption discipline.
+
+    This is a checked claim: FLOW006 errors if the decorated function
+    provably escapes nothing, and functions whose escape the summary
+    infers on its own (a returned fresh handle) do not need the
+    decoration at all — see ``repro lint --check-annotations``.
     """
     return func
 

@@ -10,7 +10,13 @@ checks with runtime sanitizers (KASAN):
   :mod:`repro.check.flow_rules`) — an intraprocedural CFG + worklist
   dataflow analyzer whose FLOW rules prove *path* properties the AST
   rules cannot see: the S ⊕ F mapping discipline, charge/ledger
-  exception safety, frame-handle leaks and taint into artifacts.
+  exception safety, frame-handle leaks and taint into artifacts —
+  plus an interprocedural tier (:mod:`repro.check.callgraph`,
+  :mod:`repro.check.summaries`, :mod:`repro.check.ip_rules`) that
+  closes those rules over the project call graph with bottom-up
+  function summaries: cross-function leak/taint tracking
+  (FLOW003-ip/FLOW004-ip), the shard-ownership rule (FLOW005) and
+  annotation-vs-inference checking (FLOW006).
 * **FrameSan** (:mod:`repro.check.sanitizer`) — a runtime frame
   sanitizer (``REPRO_SANITIZE=1``) that poisons freed frames, detects
   use-after-free / double-free / CoW violations and audits refcount
@@ -19,17 +25,33 @@ checks with runtime sanitizers (KASAN):
 
 from __future__ import annotations
 
-from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+from repro.check.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.cache import SummaryCache
+from repro.check.callgraph import CallGraph, ModuleFacts, extract_facts
 from repro.check.cfg import FunctionCFG, build_cfg, iter_functions
 from repro.check.engine import (
     Finding,
     LintResult,
+    check_annotations,
     engine_of,
     lint_paths,
+    lint_project,
     lint_source,
     rule_catalog,
 )
 from repro.check.flow_rules import FLOW_RULES, FlowRule
+from repro.check.ip_rules import IP_RULES, IpAnalysis, IpRule
+from repro.check.summaries import (
+    LocalSummary,
+    TransitiveSummary,
+    summarize_function,
+    summarize_project,
+)
 from repro.check.lattice import solve_forward, solve_must_reach
 from repro.check.reporting import render_findings, findings_to_json
 from repro.check.rules import RULES, Rule
@@ -48,9 +70,23 @@ __all__ = [
     "Finding",
     "LintResult",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "check_annotations",
     "engine_of",
     "rule_catalog",
+    "SummaryCache",
+    "CallGraph",
+    "ModuleFacts",
+    "extract_facts",
+    "IP_RULES",
+    "IpRule",
+    "IpAnalysis",
+    "LocalSummary",
+    "TransitiveSummary",
+    "summarize_function",
+    "summarize_project",
+    "Baseline",
     "render_findings",
     "findings_to_json",
     "RULES",

@@ -9,10 +9,19 @@ any *new* violation fails immediately.  ``--strict`` ignores the
 baseline (the promotion switch); ``--write-baseline`` regenerates the
 inventory from the current tree.
 
-Entries match on ``(rule, path, message)`` — deliberately *not* on
-line numbers, so unrelated edits above a baselined finding do not
-resurrect it; fixing the finding (or changing its message by touching
-the code) removes the match and the stale entry is simply inert.
+Entries match on two keys, either of which accepts a finding:
+
+* **primary** — ``(rule, path, message)``: deliberately *not* line
+  numbers, so unrelated edits above a baselined finding do not
+  resurrect it;
+* **secondary** — ``(rule, qualname, message)``: the fully-qualified
+  enclosing function, so *moving or renaming a file* does not
+  resurrect its accepted findings either — the function identity
+  survives the rename while the path does not.
+
+Fixing the finding (or changing its message by touching the code)
+removes both matches and the stale entry is simply inert.  Version-1
+baselines (path key only) still load; rewriting upgrades them.
 Baselines never apply to the ``repro.core``/``repro.fusion`` engine
 modules' FLOW findings policy-wise — see docs/CHECKING.md.
 """
@@ -21,17 +30,44 @@ from __future__ import annotations
 
 import json
 import pathlib
+from dataclasses import dataclass, field
 
 from repro.check.engine import Finding, LintResult
 
 #: Schema version of the baseline file itself.
-BASELINE_VERSION = 1
+#:
+#: * 1 — ``(rule, path, message)`` entries.
+#: * 2 — adds per-entry ``qualname`` and the path-insensitive
+#:   secondary match key ``(rule, qualname, message)``.
+BASELINE_VERSION = 2
 
 _Key = tuple[str, str, str]
 
 
-def _key(finding: Finding) -> _Key:
+@dataclass
+class Baseline:
+    """Loaded accepted-findings inventory with both match indexes."""
+
+    #: ``(rule, normalized path, message)``
+    path_keys: set[_Key] = field(default_factory=set)
+    #: ``(rule, qualname, message)`` — empty strings excluded.
+    qualname_keys: set[_Key] = field(default_factory=set)
+
+    def matches(self, finding: Finding) -> bool:
+        if _path_key(finding) in self.path_keys:
+            return True
+        return (
+            bool(finding.qualname)
+            and _qualname_key(finding) in self.qualname_keys
+        )
+
+
+def _path_key(finding: Finding) -> _Key:
     return (finding.rule_id, _normalize(finding.path), finding.message)
+
+
+def _qualname_key(finding: Finding) -> _Key:
+    return (finding.rule_id, finding.qualname, finding.message)
 
 
 def _normalize(path: str) -> str:
@@ -46,15 +82,25 @@ def write_baseline(result: LintResult, path: pathlib.Path) -> int:
     """
     entries = sorted(
         {
-            _key(finding)
+            (
+                finding.rule_id,
+                _normalize(finding.path),
+                finding.qualname,
+                finding.message,
+            )
             for finding in (*result.findings, *result.baselined)
         }
     )
     document = {
         "version": BASELINE_VERSION,
         "entries": [
-            {"rule": rule, "path": file_path, "message": message}
-            for rule, file_path, message in entries
+            {
+                "rule": rule,
+                "path": file_path,
+                "qualname": qualname,
+                "message": message,
+            }
+            for rule, file_path, qualname, message in entries
         ],
     }
     path.write_text(
@@ -63,32 +109,41 @@ def write_baseline(result: LintResult, path: pathlib.Path) -> int:
     return len(entries)
 
 
-def load_baseline(path: pathlib.Path) -> set[_Key]:
-    """Load a baseline file into a set of matching keys."""
+def load_baseline(path: pathlib.Path) -> Baseline:
+    """Load a baseline file (version 1 or 2) into a :class:`Baseline`."""
     document = json.loads(path.read_text(encoding="utf-8"))
     if not isinstance(document, dict) or "entries" not in document:
         raise ValueError(f"{path}: not a simlint baseline file")
     version = document.get("version")
-    if version != BASELINE_VERSION:
+    if version not in (1, BASELINE_VERSION):
         raise ValueError(
             f"{path}: unsupported baseline version {version!r} "
-            f"(expected {BASELINE_VERSION})"
+            f"(expected 1 or {BASELINE_VERSION})"
         )
-    keys: set[_Key] = set()
+    baseline = Baseline()
     for entry in document["entries"]:
-        keys.add((
-            str(entry["rule"]),
-            _normalize(str(entry["path"])),
-            str(entry["message"]),
-        ))
-    return keys
+        rule = str(entry["rule"])
+        message = str(entry["message"])
+        baseline.path_keys.add((rule, _normalize(str(entry["path"])), message))
+        qualname = str(entry.get("qualname", "") or "")
+        if qualname:
+            baseline.qualname_keys.add((rule, qualname, message))
+    return baseline
 
 
-def apply_baseline(result: LintResult, baseline: set[_Key]) -> LintResult:
-    """Split ``result.findings`` into active vs baselined, in place."""
+def apply_baseline(
+    result: LintResult, baseline: Baseline | set[_Key]
+) -> LintResult:
+    """Split ``result.findings`` into active vs baselined, in place.
+
+    Accepts a bare key-set too (the version-1 in-memory form some
+    callers build by hand).
+    """
+    if isinstance(baseline, set):
+        baseline = Baseline(path_keys=baseline)
     active: list[Finding] = []
     for finding in result.findings:
-        if _key(finding) in baseline:
+        if baseline.matches(finding):
             result.baselined.append(finding)
         else:
             active.append(finding)

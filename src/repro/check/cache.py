@@ -1,0 +1,134 @@
+"""On-disk summary cache: warm lint runs re-analyze only changed files.
+
+One JSON document maps each linted file to everything the engine
+derived from its *content*: the intraprocedural findings, the
+:class:`~repro.check.callgraph.ModuleFacts` record and the per-function
+:class:`~repro.check.summaries.LocalSummary` set, keyed by a blake2b
+content hash.  A warm run with an unchanged file skips parsing, the
+AST rules and the CFG solvers entirely and rebuilds the call graph
+from the cached facts (cheap: pure dict work).
+
+Interprocedural findings additionally depend on *other* files — the
+transitive summaries of every callee a file's calls resolve to.  Those
+are captured in a per-file **dependency digest**; a file's cached
+FLOW003-ip/FLOW004-ip findings are reused only when both its content
+hash and its dependency digest are unchanged, so editing a leaf
+function invalidates exactly the callers whose view of it changed.
+FLOW005/FLOW006 are whole-project properties recomputed every run
+(they need no ASTs, only summaries, so they cost microseconds warm).
+
+The cache is an optimization, never an oracle: any miss falls back to
+full analysis, a corrupt or version-skewed file is ignored wholesale,
+and rule-subset runs (``--rule``) bypass it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+#: Bump when the cached shapes (facts/summaries/findings) change.
+CACHE_VERSION = 1
+
+
+def content_hash(text: str) -> str:
+    """Stable digest of one file's source text."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def dependency_digest(parts: list[str]) -> str:
+    """Digest of a file's interprocedural inputs (callee summaries)."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class SummaryCache:
+    """Load/store per-file analysis results keyed by content hash."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._files: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.ip_hits = 0
+        self.ip_misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+        ):
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    # -- per-file content-keyed results --------------------------------
+    def lookup(self, path: str, digest: str) -> dict | None:
+        """The cached entry for ``path`` iff its content is unchanged."""
+        entry = self._files.get(path)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        path: str,
+        digest: str,
+        *,
+        module: str,
+        facts: dict,
+        summaries: dict,
+        findings: list[dict],
+    ) -> None:
+        self._files[path] = {
+            "hash": digest,
+            "module": module,
+            "facts": facts,
+            "summaries": summaries,
+            "findings": findings,
+            "ip": None,
+        }
+
+    # -- interprocedural findings, gated by the dep digest -------------
+    def lookup_ip(self, path: str, dep_digest: str) -> list[dict] | None:
+        entry = self._files.get(path)
+        if isinstance(entry, dict):
+            ip = entry.get("ip")
+            if isinstance(ip, dict) and ip.get("deps") == dep_digest:
+                self.ip_hits += 1
+                return list(ip.get("findings", []))
+        self.ip_misses += 1
+        return None
+
+    def store_ip(
+        self, path: str, dep_digest: str, findings: list[dict]
+    ) -> None:
+        entry = self._files.get(path)
+        if isinstance(entry, dict):
+            entry["ip"] = {"deps": dep_digest, "findings": findings}
+
+    def save(self, seen_paths: set[str] | None = None) -> None:
+        """Persist the cache; entries for vanished files are pruned."""
+        if seen_paths is not None:
+            self._files = {
+                path: entry
+                for path, entry in self._files.items()
+                if path in seen_paths
+            }
+        document = {"version": CACHE_VERSION, "files": self._files}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(document, sort_keys=True) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,679 @@
+"""simflow's project-wide call graph: module facts + call resolution.
+
+The interprocedural tier (FLOW003-ip / FLOW004-ip / FLOW005 / FLOW006)
+needs to know *who calls whom* across the whole tree.  This module
+extracts one serializable :class:`ModuleFacts` record per file — the
+unit the summary cache stores — and resolves call sites into edges of
+a :class:`CallGraph`:
+
+* **direct calls** — a plain name resolves through the module's own
+  top-level functions/classes, then its imports (``from repro.x import
+  f`` / ``import repro.x as m`` + ``m.f(...)``); calling a class calls
+  its ``__init__``;
+* **methods via class-hierarchy lookup** — ``self.m()`` / ``cls.m()``
+  resolves to ``m`` on the enclosing class, its ancestors *and* its
+  descendants (dynamic dispatch: ``FusionEngine.attach`` calling
+  ``self._register`` reaches every engine's override);
+* **union-by-name** — ``obj.m()`` on an unknown receiver conservatively
+  reaches every project function named ``m`` (marked imprecise: the
+  summary-driven rules only trust precise edges, reachability uses
+  all of them);
+* **address-taken callbacks** — a bound method or module function
+  passed as an argument (``kernel.register_daemon(name, t,
+  self.scan_tick)``) adds a ``ref`` edge from the caller: whoever can
+  run the caller can eventually run the callback;
+* **declared indirection** — registry/factory hops the AST cannot see
+  (``EXPERIMENTS[name].run(...)`` dispatching to the ``run_*``
+  drivers) are declared once in the :data:`FACTS` table and expanded
+  into edges, with ``*`` suffix patterns matched against qualnames.
+
+Calls inside ``lambda`` bodies are attributed to the enclosing
+function (the lambda runs on the caller's behalf); nested ``def``
+bodies are not — each function is its own caller.
+
+Like the rest of ``repro.check`` this module is a runtime leaf: pure
+``ast`` + stdlib, no ``repro.*`` runtime imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Declared indirection: caller qualname -> callee qualname patterns.
+#: A trailing ``*`` is a prefix wildcard.  This is the "small facts
+#: table" for registry/factory dispatch the resolver cannot see
+#: syntactically; entries are part of the checked configuration and
+#: the mutation meta-test exercises the chains that cross them.
+FACTS: dict[str, tuple[str, ...]] = {
+    # EXPERIMENTS[name].run(scale, seed) dispatches through a lambda
+    # stored in the registry to the module's run_* drivers.
+    "repro.harness.experiments.ExperimentSpec.run": (
+        "repro.harness.experiments.run_*",
+    ),
+}
+
+#: Entry points of the task-ownership analysis (FLOW005): everything
+#: reachable from here runs inside one worker task and must not touch
+#: module-level mutable state.
+TASK_ENTRY_POINTS: tuple[str, ...] = ("repro.runner.task.execute_task",)
+
+
+@dataclass
+class CallSite:
+    """One syntactic call, attributed to its enclosing function."""
+
+    caller: str           #: in-module qualname ("Class.m", "f", "<module>")
+    callee_name: str      #: last name component of the called expression
+    dotted: str | None    #: full dotted text ("self.pool.alloc") if a chain
+    receiver: str | None  #: first component of the chain ("self", "kernel")
+    lineno: int
+    col: int
+    #: True for attribute calls (``obj.m(...)``) — even when the
+    #: receiver chain is unparseable (``items[i].run(...)``), in which
+    #: case resolution must stay union-grade.
+    attr: bool = False
+    #: Positional argument names (plain ``Name`` args, else None) — used
+    #: to thread consumed/sink parameter summaries through call chains.
+    arg_names: tuple[str | None, ...] = ()
+    #: Function/bound-method references passed as arguments, as dotted
+    #: strings ("self.scan_tick", "charge") — address-taken callbacks.
+    arg_refs: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "caller": self.caller, "callee": self.callee_name,
+            "dotted": self.dotted, "receiver": self.receiver,
+            "line": self.lineno, "col": self.col, "attr": self.attr,
+            "args": list(self.arg_names), "refs": list(self.arg_refs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallSite":
+        return cls(
+            caller=data["caller"], callee_name=data["callee"],
+            dotted=data["dotted"], receiver=data["receiver"],
+            lineno=data["line"], col=data["col"], attr=data["attr"],
+            arg_names=tuple(data["args"]), arg_refs=tuple(data["refs"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Identity and span of one function definition."""
+
+    qualname: str         #: in-module ("WindowsPageFusion.full_pass")
+    name: str
+    lineno: int
+    end_lineno: int
+    decorators: tuple[str, ...]
+    params: tuple[str, ...]
+    class_name: str | None  #: immediately enclosing class, if a method
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname, "name": self.name,
+            "line": self.lineno, "end": self.end_lineno,
+            "decorators": list(self.decorators), "params": list(self.params),
+            "class": self.class_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionFacts":
+        return cls(
+            qualname=data["qualname"], name=data["name"],
+            lineno=data["line"], end_lineno=data["end"],
+            decorators=tuple(data["decorators"]),
+            params=tuple(data["params"]), class_name=data["class"],
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the call graph needs to know about one file."""
+
+    module: str
+    path: str
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    #: class name -> base-class expressions as written ("FusionEngine",
+    #: "base.FusionEngine").
+    classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: local name -> dotted import target ("Ksm" -> "repro.fusion.ksm.Ksm").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: names bound by module-level statements (constants, registries).
+    module_names: tuple[str, ...] = ()
+    calls: list[CallSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module, "path": self.path,
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {c: list(b) for c, b in self.classes.items()},
+            "imports": dict(self.imports),
+            "module_names": list(self.module_names),
+            "calls": [c.to_dict() for c in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleFacts":
+        return cls(
+            module=data["module"], path=data["path"],
+            functions={
+                q: FunctionFacts.from_dict(f)
+                for q, f in data["functions"].items()
+            },
+            classes={c: tuple(b) for c, b in data["classes"].items()},
+            imports=dict(data["imports"]),
+            module_names=tuple(data["module_names"]),
+            calls=[CallSite.from_dict(c) for c in data["calls"]],
+        )
+
+
+def _dotted_text(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _FactsExtractor(ast.NodeVisitor):
+    """Single pass over one module tree, scope-stack attribution."""
+
+    def __init__(self, module: str, path: str) -> None:
+        self.facts = ModuleFacts(module=module, path=path)
+        self._scope: list[str] = []        # qualname components
+        self._class_stack: list[str] = []  # enclosing class names
+        self._module_names: set[str] = set()
+
+    # -- scopes --------------------------------------------------------
+    def _caller(self) -> str:
+        return ".".join(self._scope) if self._scope else "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._scope:
+            self._module_names.add(node.name)
+        if not self._class_stack and not self._scope:
+            bases = tuple(
+                text for base in node.bases
+                if (text := _dotted_text(base)) is not None
+            )
+            self.facts.classes[node.name] = bases
+        self._scope.append(node.name)
+        self._class_stack.append(node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._class_stack.pop()
+        self._scope.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if not self._scope:
+            self._module_names.add(node.name)
+        self._scope.append(node.name)
+        qualname = self._caller()
+        decorators: list[str] = []
+        for decorator in node.decorator_list:
+            target = (
+                decorator.func if isinstance(decorator, ast.Call) else decorator
+            )
+            if isinstance(target, ast.Attribute):
+                decorators.append(target.attr)
+            elif isinstance(target, ast.Name):
+                decorators.append(target.id)
+        args = node.args
+        params = tuple(
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        )
+        self.facts.functions[qualname] = FunctionFacts(
+            qualname=qualname,
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=node.end_lineno or node.lineno,
+            decorators=tuple(decorators),
+            params=params,
+            class_name=self._class_stack[-1] if self._class_stack else None,
+        )
+        for stmt in node.body:
+            self.visit(stmt)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- imports (any scope: a function-level import still binds a
+    # module-backed object) ---------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.facts.imports.setdefault(local, target)
+            if not self._scope:
+                self._module_names.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level != 0 or node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.facts.imports.setdefault(
+                local, f"{node.module}.{alias.name}"
+            )
+            if not self._scope:
+                self._module_names.add(local)
+
+    # -- module-level bindings ------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._scope:
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        self._module_names.add(sub.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._scope and isinstance(node.target, ast.Name):
+            self._module_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # The body's calls belong to the enclosing scope.
+        self.visit(node.body)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name: str | None = None
+        dotted: str | None = None
+        receiver: str | None = None
+        attr = isinstance(func, ast.Attribute)
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            dotted = _dotted_text(func)
+            if dotted is not None:
+                receiver = dotted.split(".")[0]
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name is not None:
+            arg_names = tuple(
+                arg.id if isinstance(arg, ast.Name) else None
+                for arg in node.args
+            )
+            refs: list[str] = []
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                # A bare name or dotted chain passed as an argument is a
+                # potential function reference (address-taken callback);
+                # lambdas need nothing extra — visit_Lambda attributes
+                # their internal calls to this scope already.
+                if isinstance(arg, (ast.Attribute, ast.Name)):
+                    text = _dotted_text(arg)
+                    if text is not None:
+                        refs.append(text)
+            self.facts.calls.append(CallSite(
+                caller=self._caller(),
+                callee_name=name,
+                dotted=dotted,
+                receiver=receiver,
+                lineno=node.lineno,
+                col=node.col_offset,
+                attr=attr,
+                arg_names=arg_names,
+                arg_refs=tuple(refs),
+            ))
+        self.generic_visit(node)
+
+    def finish(self) -> ModuleFacts:
+        self.facts.module_names = tuple(sorted(self._module_names))
+        return self.facts
+
+
+def extract_facts(tree: ast.AST, module: str, path: str) -> ModuleFacts:
+    """Extract the :class:`ModuleFacts` of one parsed module."""
+    extractor = _FactsExtractor(module, path)
+    for stmt in getattr(tree, "body", []):
+        extractor.visit(stmt)
+    return extractor.finish()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call edge."""
+
+    caller: str   #: fully-qualified ("repro.fusion.wpf.WPF.full_pass")
+    callee: str
+    lineno: int
+    col: int
+    #: "direct" (name/import/self resolution), "union" (by-name over
+    #: unknown receivers), "ref" (address-taken callback), "facts"
+    #: (declared indirection).
+    kind: str
+
+    @property
+    def precise(self) -> bool:
+        return self.kind in ("direct", "facts")
+
+
+class CallGraph:
+    """The resolved project call graph over a set of module facts."""
+
+    def __init__(self, modules: dict[str, ModuleFacts]) -> None:
+        #: module name -> facts
+        self.modules = modules
+        #: fully-qualified function name -> (facts, module facts)
+        self.functions: dict[str, tuple[FunctionFacts, ModuleFacts]] = {}
+        #: bare function/method name -> fully-qualified names
+        self.by_name: dict[str, set[str]] = {}
+        #: "module.Class" -> method name -> qualified function name
+        self._class_methods: dict[str, dict[str, str]] = {}
+        #: "module.Class" -> resolved base classes ("module.Class")
+        self._bases: dict[str, set[str]] = {}
+        self._derived: dict[str, set[str]] = {}
+        for facts in modules.values():
+            for qual, func in facts.functions.items():
+                full = f"{facts.module}.{qual}"
+                self.functions[full] = (func, facts)
+                self.by_name.setdefault(func.name, set()).add(full)
+                if func.class_name is not None and qual.count(".") == 1:
+                    class_key = f"{facts.module}.{func.class_name}"
+                    self._class_methods.setdefault(class_key, {})[
+                        func.name
+                    ] = full
+        self._link_hierarchy()
+        self.edges: dict[str, list[Edge]] = {}
+        for facts in modules.values():
+            for site in facts.calls:
+                caller = (
+                    f"{facts.module}.{site.caller}"
+                    if site.caller != "<module>"
+                    else f"{facts.module}.<module>"
+                )
+                for edge in self._resolve(caller, site, facts):
+                    self.edges.setdefault(edge.caller, []).append(edge)
+        self._apply_facts_table()
+
+    # -- hierarchy -------------------------------------------------------
+    def _link_hierarchy(self) -> None:
+        for facts in self.modules.values():
+            for class_name, bases in facts.classes.items():
+                class_key = f"{facts.module}.{class_name}"
+                resolved: set[str] = set()
+                for base in bases:
+                    last = base.split(".")[-1]
+                    target = facts.imports.get(base) or facts.imports.get(last)
+                    if target is not None and target in self._class_keys(last):
+                        resolved.add(target)
+                    elif f"{facts.module}.{last}" in self._class_keys(last):
+                        resolved.add(f"{facts.module}.{last}")
+                    else:
+                        # Same-name class anywhere in the project.
+                        resolved |= self._class_keys(last)
+                self._bases[class_key] = resolved
+                for base_key in resolved:
+                    self._derived.setdefault(base_key, set()).add(class_key)
+
+    def _class_keys(self, class_name: str) -> set[str]:
+        keys = set()
+        for facts in self.modules.values():
+            if class_name in facts.classes:
+                keys.add(f"{facts.module}.{class_name}")
+        return keys
+
+    def _hierarchy(self, class_key: str) -> set[str]:
+        """The class plus all ancestors and descendants."""
+        related = {class_key}
+        stack = [class_key]
+        while stack:
+            for base in self._bases.get(stack.pop(), ()):
+                if base not in related:
+                    related.add(base)
+                    stack.append(base)
+        stack = [key for key in related]
+        while stack:
+            for sub in self._derived.get(stack.pop(), ()):
+                if sub not in related:
+                    related.add(sub)
+                    stack.append(sub)
+        return related
+
+    def _method_lookup(self, class_key: str, method: str) -> set[str]:
+        return {
+            full
+            for related in self._hierarchy(class_key)
+            for name, full in self._class_methods.get(related, {}).items()
+            if name == method
+        }
+
+    # -- resolution ------------------------------------------------------
+    def _resolve_name(
+        self, name: str, facts: ModuleFacts
+    ) -> tuple[set[str], str] | None:
+        """A plain name: local def, local class, or import."""
+        if name in facts.functions:
+            return {f"{facts.module}.{name}"}, "direct"
+        if name in facts.classes:
+            init = f"{facts.module}.{name}.__init__"
+            return ({init} if init in self.functions else set()), "direct"
+        target = facts.imports.get(name)
+        if target is not None:
+            if target in self.functions:
+                return {target}, "direct"
+            init = f"{target}.__init__"
+            if init in self.functions:
+                return {init}, "direct"
+            if any(
+                target == f"{m.module}.{c}"
+                for m in self.modules.values() for c in m.classes
+            ):
+                return set(), "direct"  # class without own __init__
+            if target.rsplit(".", 1)[0] in self.modules or any(
+                target == m.module for m in self.modules.values()
+            ):
+                return set(), "direct"
+            return None  # external import: no project edge
+        return None
+
+    def _resolve(
+        self, caller: str, site: CallSite, facts: ModuleFacts
+    ) -> list[Edge]:
+        edges: list[Edge] = []
+
+        def emit(targets: set[str], kind: str) -> None:
+            for target in sorted(targets):
+                if target != caller:
+                    edges.append(Edge(
+                        caller, target, site.lineno, site.col, kind
+                    ))
+
+        caller_func = self.functions.get(caller)
+        if site.attr and site.dotted is None:
+            # Attribute call on an unparseable receiver chain
+            # (items[i].run(...)): union-by-name only.
+            if not _is_builtin(site.callee_name):
+                emit(self.by_name.get(site.callee_name, set()), "union")
+        elif site.dotted is None:
+            nested = f"{caller}.{site.callee_name}"
+            resolved = self._resolve_name(site.callee_name, facts)
+            if nested in self.functions:
+                emit({nested}, "direct")
+            elif resolved is not None:
+                emit(resolved[0], resolved[1])
+            elif site.callee_name in self.by_name and not _is_builtin(
+                site.callee_name
+            ):
+                emit(self.by_name[site.callee_name], "union")
+        elif (
+            site.receiver in ("self", "cls")
+            and site.dotted.count(".") == 1
+            and caller_func is not None
+            and caller_func[0].class_name is not None
+        ):
+            class_key = (
+                f"{facts.module}.{caller_func[0].class_name}"
+            )
+            targets = self._method_lookup(class_key, site.callee_name)
+            if targets:
+                emit(targets, "direct")
+            else:
+                emit(self.by_name.get(site.callee_name, set()), "union")
+        elif (
+            site.receiver is not None
+            and site.dotted is not None
+            and site.dotted.count(".") == 1
+            and facts.imports.get(site.receiver) in self.modules
+        ):
+            # mod.f(...) on an imported project module.
+            target_module = facts.imports[site.receiver]
+            target = f"{target_module}.{site.callee_name}"
+            if target in self.functions:
+                emit({target}, "direct")
+            else:
+                init = f"{target}.__init__"
+                emit({init} if init in self.functions else set(), "direct")
+        else:
+            emit(self.by_name.get(site.callee_name, set()), "union")
+
+        # Address-taken callbacks: a bound method / function reference
+        # passed as an argument may run on the caller's behalf.
+        for ref in site.arg_refs:
+            parts = ref.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("self", "cls")
+                and caller_func is not None
+                and caller_func[0].class_name is not None
+            ):
+                class_key = f"{facts.module}.{caller_func[0].class_name}"
+                emit(self._method_lookup(class_key, parts[1]), "ref")
+            elif len(parts) == 1:
+                nested = f"{caller}.{parts[0]}"
+                resolved = self._resolve_name(parts[0], facts)
+                targets = (
+                    {nested} if nested in self.functions
+                    else resolved[0] if resolved is not None
+                    else set()
+                )
+                for target in sorted(targets):
+                    if target != caller:
+                        edges.append(Edge(
+                            caller, target, site.lineno, site.col, "ref"
+                        ))
+        return edges
+
+    def _apply_facts_table(self) -> None:
+        for caller, patterns in FACTS.items():
+            if caller not in self.functions:
+                continue
+            func, _ = self.functions[caller]
+            for pattern in patterns:
+                if pattern.endswith("*"):
+                    prefix = pattern[:-1]
+                    targets = {
+                        full for full in self.functions
+                        if full.startswith(prefix)
+                    }
+                else:
+                    targets = {pattern} & set(self.functions)
+                for target in sorted(targets):
+                    self.edges.setdefault(caller, []).append(Edge(
+                        caller, target, func.lineno, 0, "facts"
+                    ))
+
+    # -- queries ---------------------------------------------------------
+    def callees(self, caller: str, precise_only: bool = False) -> list[Edge]:
+        edges = self.edges.get(caller, [])
+        if precise_only:
+            return [edge for edge in edges if edge.precise]
+        return list(edges)
+
+    def resolve_call(
+        self, caller: str, lineno: int, col: int, precise_only: bool = True
+    ) -> list[str]:
+        """Resolved targets of the call at ``(lineno, col)`` in ``caller``."""
+        return sorted({
+            edge.callee
+            for edge in self.edges.get(caller, [])
+            if edge.lineno == lineno and edge.col == col
+            and (edge.precise or not precise_only)
+        })
+
+    def reachable_from(
+        self,
+        roots: tuple[str, ...] = TASK_ENTRY_POINTS,
+        module_filter: str = "repro.",
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS reachability with witness chains (FLOW005's traversal).
+
+        Returns ``{function: (root, ..., function)}`` — the shortest
+        caller→callee chain found.  Traversal stays inside modules
+        matching ``module_filter`` (task ownership is a property of
+        ``src/repro``; test helpers may alias names freely).
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.functions:
+                chains[root] = (root,)
+                queue.append(root)
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            for edge in self.edges.get(current, ()):  # noqa: B007
+                callee = edge.callee
+                if callee in chains or callee not in self.functions:
+                    continue
+                if not callee.startswith(module_filter):
+                    continue
+                chains[callee] = (*chains[current], callee)
+                queue.append(callee)
+        return chains
+
+
+#: Ubiquitous names whose union-by-name fan-out would be all noise and
+#: no signal (builtins and dunder protocol methods).
+_BUILTIN_NAMES = frozenset({
+    "len", "range", "print", "sorted", "list", "dict", "set", "tuple",
+    "frozenset", "int", "str", "float", "bool", "bytes", "bytearray",
+    "isinstance", "issubclass", "getattr", "setattr", "hasattr", "repr",
+    "min", "max", "sum", "abs", "zip", "map", "filter", "enumerate",
+    "iter", "next", "open", "type", "vars", "id", "hash", "super",
+    "format", "divmod", "round", "any", "all", "reversed", "callable",
+    "memoryview", "object", "classmethod", "staticmethod", "property",
+    "ValueError", "TypeError", "KeyError", "RuntimeError", "Exception",
+})
+
+
+def _is_builtin(name: str) -> bool:
+    return name in _BUILTIN_NAMES or (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+def iter_functions_with_qualnames(
+    tree: ast.AST,
+) -> list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    """Every function definition paired with its in-module qualname.
+
+    The qualnames match :class:`ModuleFacts` attribution exactly
+    (``Class.method``, ``outer.inner``), which is what lets per-function
+    analyses look themselves up in the call graph.
+    """
+    result: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]] = []
+
+    def walk(node: ast.AST, scope: tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join((*scope, child.name))
+                result.append((child, qualname))
+                walk(child, (*scope, child.name))
+            elif isinstance(child, ast.ClassDef):
+                walk(child, (*scope, child.name))
+            else:
+                walk(child, scope)
+
+    walk(tree, ())
+    return result

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pathlib
 
 from repro.check.baseline import apply_baseline, load_baseline, write_baseline
-from repro.check.engine import engine_of, lint_paths, rule_catalog
+from repro.check.engine import (
+    check_annotations,
+    engine_of,
+    lint_paths,
+    rule_catalog,
+)
 from repro.check.reporting import findings_to_json, render_findings
 
 DEFAULT_PATHS = ["src"]
@@ -39,6 +44,13 @@ def add_lint_parser(sub) -> None:
     lint.add_argument("--write-baseline", metavar="FILE", default=None,
                       help="write the current findings as a new baseline "
                            "and exit 0")
+    lint.add_argument("--cache", metavar="FILE", default=None,
+                      help="on-disk summary cache; warm runs re-analyze "
+                           "only changed files (full rule set only)")
+    lint.add_argument("--check-annotations", action="store_true",
+                      help="audit @escapes_frame annotations against the "
+                           "inferred summaries (proved / trusted / "
+                           "contradicted) and exit")
 
 
 def cmd_lint(args) -> int:
@@ -49,7 +61,32 @@ def cmd_lint(args) -> int:
                 f"{rule.summary}"
             )
         return 0
-    result = lint_paths(args.paths or DEFAULT_PATHS, rule_ids=args.rules)
+    if args.check_annotations:
+        rows = check_annotations(args.paths or DEFAULT_PATHS)
+        if not rows:
+            print("no checked annotations found")
+            return 0
+        contradicted = 0
+        for row in rows:
+            print(
+                f"{row['path']}:{row['line']}: @{row['annotation']} on "
+                f"{row['qualname']} -- {row['status']}"
+            )
+            contradicted += row["status"] == "contradicted"
+        print(
+            f"{len(rows)} annotation(s): "
+            f"{sum(r['status'] == 'proved' for r in rows)} proved "
+            "(inference derives the contract; the annotation can be "
+            "dropped), "
+            f"{sum(r['status'] == 'trusted' for r in rows)} trusted, "
+            f"{contradicted} contradicted"
+        )
+        return 1 if contradicted else 0
+    result = lint_paths(
+        args.paths or DEFAULT_PATHS,
+        rule_ids=args.rules,
+        cache_path=args.cache,
+    )
     if args.baseline and not args.strict:
         baseline_path = pathlib.Path(args.baseline)
         if baseline_path.exists():

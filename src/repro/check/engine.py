@@ -6,7 +6,20 @@ Two analyzers run behind this one engine:
   visitors (DET/MEM/LAY families);
 * the **flow** engine (simflow) — per-function CFG + dataflow checks
   (:class:`~repro.check.flow_rules.FlowRule`, FLOW family), built on
-  :mod:`repro.check.cfg` and :mod:`repro.check.lattice`.
+  :mod:`repro.check.cfg` and :mod:`repro.check.lattice`, plus the
+  interprocedural tier (:class:`~repro.check.ip_rules.IpRule`,
+  FLOW00x-ip/FLOW005/FLOW006) built on the project call graph
+  (:mod:`repro.check.callgraph`) and bottom-up function summaries
+  (:mod:`repro.check.summaries`).
+
+Two entry points with different contracts:
+
+* :func:`lint_source` — one file in isolation, intraprocedural rules
+  only (the unit the rule tests exercise);
+* :func:`lint_project` — a set of files as one program: everything
+  ``lint_source`` does *plus* the interprocedural rules, with an
+  optional on-disk content-hash cache so warm runs only re-analyze
+  changed files (:mod:`repro.check.cache`).
 
 The engine is deliberately free of repro.* runtime imports (it must be
 importable in a bare CI job) — rules communicate through
@@ -17,29 +30,46 @@ purely textually.
 from __future__ import annotations
 
 import ast
+import dataclasses
+import json
 import pathlib
 import re
 from dataclasses import dataclass, field
 
+from repro.check.cache import SummaryCache, content_hash, dependency_digest
+from repro.check.callgraph import (
+    CallGraph,
+    ModuleFacts,
+    extract_facts,
+    iter_functions_with_qualnames,
+)
 from repro.check.cfg import build_cfg, iter_functions
-from repro.check.flow_rules import FLOW_RULES, FlowRule
+from repro.check.flow_rules import FLOW_RULES, FlowRule, _Pos
+from repro.check.ip_rules import (
+    IP_RULES,
+    IpAnalysis,
+    IpRule,
+    annotation_report,
+)
 from repro.check.rules import RULES, Rule
+from repro.check.summaries import LocalSummary, summarize_function
 
-#: ``# simlint: disable=DET001,MEM001`` (or ``disable=all``).
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+#: ``# simlint: disable=DET001,FLOW003-ip`` (or ``disable=all``).
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s-]+|all)")
 
 
-def rule_catalog() -> dict[str, Rule | FlowRule]:
-    """The merged rule catalog: ast rules first, then flow rules."""
-    catalog: dict[str, Rule | FlowRule] = {}
+def rule_catalog() -> dict[str, Rule | FlowRule | IpRule]:
+    """The merged rule catalog: ast, then flow, then interprocedural."""
+    catalog: dict[str, Rule | FlowRule | IpRule] = {}
     catalog.update(RULES)
     catalog.update(FLOW_RULES)
+    catalog.update(IP_RULES)
     return catalog
 
 
 def engine_of(rule_id: str) -> str:
     """Which analyzer owns a rule id: ``"flow"`` or ``"ast"``."""
-    return "flow" if rule_id in FLOW_RULES else "ast"
+    return "flow" if rule_id in FLOW_RULES or rule_id in IP_RULES else "ast"
 
 
 @dataclass(frozen=True)
@@ -53,6 +83,10 @@ class Finding:
     col: int
     message: str
     engine: str = "ast"  #: analyzer that produced it ("ast" or "flow")
+    #: Fully-qualified enclosing function ("repro.fusion.wpf.WPF.scan"),
+    #: or the module name for module-level findings — the baseline's
+    #: path-insensitive secondary key.
+    qualname: str = ""
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -63,7 +97,17 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "engine": self.engine,
+            "qualname": self.qualname,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule_id=data["rule"], severity=data["severity"],
+            path=data["path"], line=data["line"], col=data["col"],
+            message=data["message"], engine=data.get("engine", "ast"),
+            qualname=data.get("qualname", ""),
+        )
 
 
 @dataclass
@@ -137,12 +181,18 @@ def module_name_for(path: pathlib.Path) -> str:
 def _selected_rules(
     rule_ids: list[str] | None,
 ) -> tuple[list[Rule], list[FlowRule]]:
-    """Split a rule selection into (ast rules, flow rules)."""
+    """Split a rule selection into (ast rules, flow rules).
+
+    Interprocedural ids are accepted (they are valid selections for
+    :func:`lint_project`) but contribute no intraprocedural rule.
+    """
     if not rule_ids:
         return list(RULES.values()), list(FLOW_RULES.values())
     unknown = [
         rule_id for rule_id in rule_ids
-        if rule_id not in RULES and rule_id not in FLOW_RULES
+        if rule_id not in RULES
+        and rule_id not in FLOW_RULES
+        and rule_id not in IP_RULES
     ]
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
@@ -150,6 +200,12 @@ def _selected_rules(
         [RULES[rule_id] for rule_id in rule_ids if rule_id in RULES],
         [FLOW_RULES[rule_id] for rule_id in rule_ids if rule_id in FLOW_RULES],
     )
+
+
+def _selected_ip_rules(rule_ids: list[str] | None) -> list[IpRule]:
+    if not rule_ids:
+        return list(IP_RULES.values())
+    return [IP_RULES[rule_id] for rule_id in rule_ids if rule_id in IP_RULES]
 
 
 def lint_source(
@@ -188,21 +244,294 @@ def iter_python_files(paths: list[str]) -> list[pathlib.Path]:
     return files
 
 
-def lint_paths(paths: list[str], rule_ids: list[str] | None = None) -> LintResult:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+def lint_paths(
+    paths: list[str],
+    rule_ids: list[str] | None = None,
+    cache_path: str | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` as one program.
+
+    This is project mode: the intraprocedural rules per file plus the
+    interprocedural tier over the whole file set.  ``cache_path``
+    enables the on-disk summary cache (full-rule-set runs only).
+    """
     result = LintResult()
+    file_sources: dict[str, str] = {}
+    for file_path in iter_python_files(paths):
+        try:
+            file_sources[str(file_path)] = file_path.read_text(
+                encoding="utf-8"
+            )
+        except (UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{file_path}: {exc}")
+    cache = SummaryCache(cache_path) if cache_path else None
+    project = lint_project(file_sources, rule_ids=rule_ids, cache=cache)
+    if cache is not None:
+        cache.save(set(file_sources))
+    project.errors = [*result.errors, *project.errors]
+    return project
+
+
+# ----------------------------------------------------------------------
+# Project mode: whole-program lint with the interprocedural tier
+# ----------------------------------------------------------------------
+@dataclass
+class _FileInfo:
+    """Everything lint_project derived (or recovered) for one file."""
+
+    source: str
+    module: str
+    facts: ModuleFacts
+    local_summaries: dict[str, LocalSummary]
+    findings: list[Finding]
+    tree: ast.AST | None  #: None on a cache hit (not parsed this run)
+
+
+def _attach_qualnames(
+    findings: list[Finding], module: str, facts: ModuleFacts
+) -> list[Finding]:
+    """Stamp each finding with its innermost enclosing function."""
+    spans = [
+        (func.lineno, func.end_lineno, qual)
+        for qual, func in facts.functions.items()
+    ]
+
+    def qual_for(line: int) -> str:
+        best: str | None = None
+        best_size: int | None = None
+        for low, high, qual in spans:
+            if low <= line <= high and (
+                best_size is None or high - low < best_size
+            ):
+                best, best_size = qual, high - low
+        return f"{module}.{best}" if best is not None else module
+
+    return [
+        dataclasses.replace(finding, qualname=qual_for(finding.line))
+        for finding in findings
+    ]
+
+
+def _intra_findings(
+    tree: ast.AST,
+    path: str,
+    module: str,
+    source: str,
+    ast_rules: list[Rule],
+    flow_rules: list[FlowRule],
+) -> list[Finding]:
+    ctx = LintContext(path, module, source.splitlines())
+    for rule in ast_rules:
+        if rule.applies(module):
+            rule.checker(ctx).visit(tree)
+    active_flow = [rule for rule in flow_rules if rule.applies(module)]
+    if active_flow:
+        for func in iter_functions(tree):
+            cfg = build_cfg(func)
+            for flow_rule in active_flow:
+                flow_rule.checker(ctx, cfg)
+    return ctx.findings
+
+
+def _ip_dependency_digest(analysis: IpAnalysis, facts: ModuleFacts) -> str:
+    """Digest of everything this file's ip findings depend on beyond
+    its own content: the transitive summaries of every resolved callee."""
+    parts: set[str] = set()
+    for site in facts.calls:
+        caller = f"{facts.module}.{site.caller}"
+        for target in analysis.graph.resolve_call(
+            caller, site.lineno, site.col
+        ):
+            summary = analysis.summaries.get(target)
+            if summary is not None:
+                parts.add(
+                    f"{target}="
+                    + json.dumps(summary.to_dict(), sort_keys=True)
+                )
+    return dependency_digest(sorted(parts))
+
+
+def _ip_function_findings(
+    info: _FileInfo,
+    path: str,
+    analysis: IpAnalysis,
+    rules: list[IpRule],
+) -> list[Finding]:
+    tree = info.tree
+    if tree is None:
+        tree = ast.parse(info.source, filename=path)
+    ctx = LintContext(path, info.module, info.source.splitlines())
+    for func, qual in iter_functions_with_qualnames(tree):
+        full = f"{info.module}.{qual}"
+        cfg = build_cfg(func)
+        for rule in rules:
+            assert rule.checker is not None
+            rule.checker(ctx, cfg, func, full, analysis)
+    return ctx.findings
+
+
+def lint_project(
+    file_sources: dict[str, str],
+    rule_ids: list[str] | None = None,
+    cache: SummaryCache | None = None,
+) -> LintResult:
+    """Lint a set of files as one program (the interprocedural unit).
+
+    ``file_sources`` maps paths to source text.  With ``cache``, files
+    whose content hash matches skip parsing and intraprocedural
+    analysis entirely, and skip the per-function interprocedural rules
+    when their dependency digest (resolved callees' summaries) is also
+    unchanged; the whole-project rules (FLOW005/FLOW006) are
+    recomputed every run from the summaries alone.  Rule-subset runs
+    bypass the cache.
+    """
+    result = LintResult()
+    use_cache = cache is not None and not rule_ids
+    ast_rules, flow_rules = _selected_rules(rule_ids)
+    ip_rules = _selected_ip_rules(rule_ids)
+    infos: dict[str, _FileInfo] = {}
+
+    for path in sorted(file_sources):
+        source = file_sources[path]
+        module = module_name_for(pathlib.Path(path))
+        digest = content_hash(source)
+        entry = cache.lookup(path, digest) if use_cache else None
+        if entry is not None:
+            facts = ModuleFacts.from_dict(entry["facts"])
+            local = {
+                qual: LocalSummary.from_dict(data)
+                for qual, data in entry["summaries"].items()
+            }
+            findings = [Finding.from_dict(f) for f in entry["findings"]]
+            tree: ast.AST | None = None
+        else:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                result.errors.append(f"{path}: {exc}")
+                continue
+            facts = extract_facts(tree, module, path)
+            findings = _attach_qualnames(
+                _intra_findings(
+                    tree, path, module, source, ast_rules, flow_rules
+                ),
+                module,
+                facts,
+            )
+            local = {
+                qual: summarize_function(func, qual, facts)
+                for func, qual in iter_functions_with_qualnames(tree)
+            }
+            if use_cache:
+                assert cache is not None
+                cache.store(
+                    path, digest,
+                    module=module,
+                    facts=facts.to_dict(),
+                    summaries={
+                        qual: summary.to_dict()
+                        for qual, summary in local.items()
+                    },
+                    findings=[f.as_dict() for f in findings],
+                )
+        result.files_scanned += 1
+        infos[path] = _FileInfo(source, module, facts, local, findings, tree)
+
+    # -- interprocedural tier ------------------------------------------
+    modules = {info.facts.module: info.facts for info in infos.values()}
+    locals_by_full = {
+        f"{info.facts.module}.{qual}": summary
+        for info in infos.values()
+        for qual, summary in info.local_summaries.items()
+    }
+    analysis = IpAnalysis(CallGraph(modules), locals_by_full)
+
+    function_rules = [
+        rule for rule in ip_rules
+        if rule.scope == "function" and rule.checker is not None
+    ]
+    for path, info in infos.items():
+        applicable = [
+            rule for rule in function_rules if rule.applies(info.module)
+        ]
+        if not applicable:
+            continue
+        dep_digest = (
+            _ip_dependency_digest(analysis, info.facts) if use_cache else ""
+        )
+        cached_ip = (
+            cache.lookup_ip(path, dep_digest)
+            if use_cache and info.tree is None
+            else None
+        )
+        if cached_ip is not None:
+            ip_findings = [Finding.from_dict(f) for f in cached_ip]
+        else:
+            ip_findings = _attach_qualnames(
+                _ip_function_findings(info, path, analysis, applicable),
+                info.module,
+                info.facts,
+            )
+            if use_cache:
+                assert cache is not None
+                cache.store_ip(
+                    path, dep_digest, [f.as_dict() for f in ip_findings]
+                )
+        info.findings.extend(ip_findings)
+
+    # Whole-project rules: cheap (summaries only), recomputed each run.
+    by_module = {info.module: (path, info) for path, info in infos.items()}
+    project_ctxs: dict[str, LintContext] = {}
+    for rule in ip_rules:
+        if rule.scope != "project" or rule.project_checker is None:
+            continue
+        for pf in rule.project_checker(analysis):
+            entry = by_module.get(pf.module)
+            if entry is None:
+                continue
+            path, info = entry
+            ctx = project_ctxs.setdefault(
+                pf.module,
+                LintContext(path, pf.module, info.source.splitlines()),
+            )
+            ctx.report(pf.rule_id, _Pos(pf.lineno, pf.col), pf.message)
+    for module, ctx in project_ctxs.items():
+        _, info = by_module[module]
+        info.findings.extend(
+            _attach_qualnames(ctx.findings, module, info.facts)
+        )
+
+    for path in sorted(infos):
+        result.findings.extend(
+            sorted(
+                infos[path].findings,
+                key=lambda f: (f.line, f.col, f.rule_id),
+            )
+        )
+    return result
+
+
+def project_analysis(paths: list[str]) -> IpAnalysis:
+    """Build the interprocedural analysis alone (no rule findings) —
+    the backing for ``repro lint --check-annotations``."""
+    modules: dict[str, ModuleFacts] = {}
+    locals_by_full: dict[str, LocalSummary] = {}
     for file_path in iter_python_files(paths):
         try:
             source = file_path.read_text(encoding="utf-8")
-            findings = lint_source(
-                source,
-                path=str(file_path),
-                module=module_name_for(file_path),
-                rule_ids=rule_ids,
-            )
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            result.errors.append(f"{file_path}: {exc}")
+            tree = ast.parse(source, filename=str(file_path))
+        except (SyntaxError, UnicodeDecodeError, OSError):
             continue
-        result.files_scanned += 1
-        result.findings.extend(findings)
-    return result
+        module = module_name_for(file_path)
+        facts = extract_facts(tree, module, str(file_path))
+        modules[module] = facts
+        for func, qual in iter_functions_with_qualnames(tree):
+            locals_by_full[f"{module}.{qual}"] = summarize_function(
+                func, qual, facts
+            )
+    return IpAnalysis(CallGraph(modules), locals_by_full)
+
+
+def check_annotations(paths: list[str]) -> list[dict[str, object]]:
+    """The ``--check-annotations`` audit over ``paths``."""
+    return annotation_report(project_analysis(paths))

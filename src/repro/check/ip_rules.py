@@ -1,0 +1,642 @@
+"""simflow's interprocedural rules: FLOW003-ip/FLOW004-ip/FLOW005/FLOW006.
+
+The base FLOW rules (:mod:`repro.check.flow_rules`) stop at function
+boundaries; the rules here close them over the project call graph
+(:mod:`repro.check.callgraph`) and the bottom-up function summaries
+(:mod:`repro.check.summaries`):
+
+* **FLOW003-ip** — a pfn returned by any *transitively allocating*
+  callee is a fresh handle at the caller: it must still be mapped,
+  freed, stored or returned on every path.  Sources are calls that
+  resolve (precisely) to a function whose summary escapes a frame;
+  consumers are the base consumer set plus callees whose summaries
+  consume the forwarded parameter.
+* **FLOW004-ip** — wall-clock/RNG/``hash()`` taint tracked *through*
+  call chains: a call returning summary-level taint poisons its
+  result, and a tainted value handed to a callee whose summary sinks
+  that parameter into an artifact write is an error even though
+  neither function alone looks wrong.
+* **FLOW005** — shard ownership: every function reachable from
+  ``runner.execute_task`` (over *all* edge kinds — reachability is
+  conservative where summaries are precise) must not mutate
+  module-level state.  This is the static precondition for sharding
+  single-scenario simulation across workers: a task's effects must be
+  owned by its task-local object graph.  The analyzer's own
+  ``repro.check`` registries are import-time plumbing, not simulation
+  state, and are excluded.
+* **FLOW006** — annotations are *checked claims*: an
+  ``@escapes_frame`` decoration on a function whose summary proves no
+  value ever escapes (no valued return, no yield) is a hard error —
+  a stale annotation silently disables FLOW003 for the body.
+
+Every finding's message carries the caller→callee witness chain that
+produced it, so a report three layers away from the defect still names
+the path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.check.callgraph import TASK_ENTRY_POINTS, CallGraph
+from repro.check.cfg import FunctionCFG
+from repro.check.flow_rules import (
+    _ARTIFACT_SINK_CALLEES,
+    _FRAME_SOURCES,
+    _Pos,
+    _call_arguments,
+    _callee,
+    _calls_in,
+    _consumed_names,
+    _is_taint_source,
+    _names_in,
+    _reporting_pass,
+    _sole_name_assign,
+)
+from repro.check.lattice import MutableState, solve_forward
+from repro.check.rules import _in_packages
+from repro.check.summaries import (
+    LocalSummary,
+    TransitiveSummary,
+    _param_position,
+    summarize_project,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.engine import LintContext
+
+Report = Callable[[str, ast.AST, str], None]
+
+_IP_FRESH_PREFIX = "ipfresh@"
+_IP_TAINTED = "iptainted"
+_TAINTED = "tainted"  # matches flow_rules._TAINTED; both tracked here
+
+#: Modules whose global writes are analyzer plumbing, not simulation
+#: state: the rule/experiment registries in ``repro.check`` are filled
+#: at import time and only *read* afterwards.
+_FLOW005_EXEMPT_PREFIXES = ("repro.check.",)
+
+
+@dataclass(frozen=True)
+class IpRule:
+    """One interprocedural invariant."""
+
+    id: str
+    severity: str
+    summary: str
+    rationale: str
+    #: "function" rules run per CFG with summary context; "project"
+    #: rules run once over the whole graph.
+    scope: str
+    applies_to: Callable[[str], bool] = field(default=lambda module: True)
+    #: function-scope checker: (ctx, cfg, func, caller_full, analysis).
+    checker: Callable[..., None] | None = None
+    #: project-scope checker: analysis -> findings.
+    project_checker: (
+        Callable[["IpAnalysis"], list["ProjectFinding"]] | None
+    ) = None
+
+    def applies(self, module: str) -> bool:
+        return self.applies_to(module)
+
+
+#: Registry of interprocedural rules, id -> rule.
+IP_RULES: dict[str, IpRule] = {}
+
+
+def register_ip(rule: IpRule) -> IpRule:
+    if rule.id in IP_RULES:
+        raise ValueError(f"duplicate ip rule id {rule.id}")
+    IP_RULES[rule.id] = rule
+    return rule
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+class IpAnalysis:
+    """Project-wide context every interprocedural check consumes."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        local_summaries: dict[str, LocalSummary],
+    ) -> None:
+        self.graph = graph
+        self.local_summaries = local_summaries
+        self.summaries: dict[str, TransitiveSummary] = summarize_project(
+            graph, local_summaries
+        )
+        #: function -> witness chain from a task entry point.
+        self.task_reachable: dict[str, tuple[str, ...]] = (
+            graph.reachable_from(TASK_ENTRY_POINTS)
+        )
+
+    # -- shared call-site resolution helpers ---------------------------
+    def escaping_targets(
+        self, caller_full: str, call: ast.Call
+    ) -> list[TransitiveSummary]:
+        """Summaries of precisely-resolved escaping targets of ``call``.
+
+        Excludes the base allocator names — those are FLOW003's
+        sources; the ip rule only adds the calls base analysis cannot
+        see through.
+        """
+        if _callee(call) in _FRAME_SOURCES:
+            return []
+        return [
+            self.summaries[target]
+            for target in self.graph.resolve_call(
+                caller_full, call.lineno, call.col_offset
+            )
+            if target in self.summaries and self.summaries[target].escapes
+        ]
+
+    def taint_targets(
+        self, caller_full: str, call: ast.Call
+    ) -> list[TransitiveSummary]:
+        """Summaries of resolved targets whose return carries taint."""
+        return [
+            self.summaries[target]
+            for target in self.graph.resolve_call(
+                caller_full, call.lineno, call.col_offset
+            )
+            if target in self.summaries
+            and self.summaries[target].returns_taint
+        ]
+
+    def resolved_summaries(
+        self, caller_full: str, call: ast.Call
+    ) -> list[tuple[LocalSummary, TransitiveSummary]]:
+        return [
+            (self.local_summaries[target], self.summaries[target])
+            for target in self.graph.resolve_call(
+                caller_full, call.lineno, call.col_offset
+            )
+            if target in self.summaries
+        ]
+
+
+# ----------------------------------------------------------------------
+# FLOW003-ip — cross-function frame-handle escape/leak
+# ----------------------------------------------------------------------
+def _ip_consumed_params(
+    analysis: IpAnalysis, caller_full: str, node: ast.AST
+) -> set[str]:
+    """Names consumed because a callee's summary consumes the param."""
+    consumed: set[str] = set()
+    for call in _calls_in(node):
+        attribute_call = isinstance(call.func, ast.Attribute)
+        for local, transitive in analysis.resolved_summaries(
+            caller_full, call
+        ):
+            for index, arg in enumerate(call.args):
+                if not isinstance(arg, ast.Name):
+                    continue
+                param = _param_position(local, index, attribute_call)
+                if param is not None and param in transitive.consumed_params:
+                    consumed.add(arg.id)
+    return consumed
+
+
+def _make_flow003ip_transfer(
+    analysis: IpAnalysis, caller_full: str, report: Report | None
+) -> Callable[[ast.AST, MutableState], None]:
+    def transfer(node: ast.AST, state: MutableState) -> None:
+        for name in _consumed_names(node):
+            state.clear(name)
+        for name in _ip_consumed_params(analysis, caller_full, node):
+            state.clear(name)
+        assigned = _sole_name_assign(node)
+        if assigned is not None and isinstance(assigned[1], ast.Call):
+            call = assigned[1]
+            targets = analysis.escaping_targets(caller_full, call)
+            if targets:
+                state.replace(
+                    assigned[0],
+                    f"{_IP_FRESH_PREFIX}{call.lineno}:{call.col_offset}",
+                )
+                return
+        # A transitively-allocating call whose result is discarded
+        # leaks unconditionally.
+        if (
+            report is not None
+            and isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+        ):
+            targets = analysis.escaping_targets(caller_full, node.value)
+            if targets:
+                report(
+                    "FLOW003-ip", node.value,
+                    "frame handle from transitively-allocating call is "
+                    "discarded (result unused); the pfn can never be "
+                    "freed, mapped or stored "
+                    f"[{_chain_text(targets[0].escape_chain)}]",
+                )
+        # Plain reassignment drops a still-fresh handle.
+        if assigned is not None and report is not None:
+            var, value = assigned
+            if var not in _names_in(value) and any(
+                fact.startswith(_IP_FRESH_PREFIX)
+                for fact in state.facts(var)
+            ):
+                report(
+                    "FLOW003-ip", node,
+                    f"frame handle '{var}' (from a transitively-"
+                    "allocating callee) is overwritten before the frame "
+                    "is freed, mapped, stored or returned",
+                )
+        if assigned is not None and assigned[0] not in _names_in(assigned[1]):
+            state.clear(assigned[0])
+
+    return transfer
+
+
+def _escape_chain_at(
+    analysis: IpAnalysis,
+    caller_full: str,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    lineno: int,
+    col: int,
+) -> tuple[str, ...]:
+    """Witness chain for the ip-fresh source call at ``(lineno, col)``."""
+    for call in _calls_in(func):
+        if call.lineno == lineno and call.col_offset == col:
+            targets = analysis.escaping_targets(caller_full, call)
+            if targets:
+                return (caller_full, *targets[0].escape_chain)
+    return (caller_full,)
+
+
+def _check_flow003ip(
+    ctx: "LintContext",
+    cfg: FunctionCFG,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    caller_full: str,
+    analysis: IpAnalysis,
+) -> None:
+    if "escapes_frame" in cfg.decorator_names():
+        return
+    transfer = _make_flow003ip_transfer(analysis, caller_full, None)
+    pre_states = solve_forward(cfg, transfer)
+    _reporting_pass(
+        cfg, pre_states,
+        _make_flow003ip_transfer(analysis, caller_full, ctx.report),
+    )
+    for exit_id in (cfg.exit, cfg.raise_exit):
+        for var, facts in sorted(pre_states.get(exit_id, {}).items()):
+            for fact in sorted(facts):
+                if not fact.startswith(_IP_FRESH_PREFIX):
+                    continue
+                line, _, col = fact[len(_IP_FRESH_PREFIX):].partition(":")
+                chain = _escape_chain_at(
+                    analysis, caller_full, func, int(line), int(col)
+                )
+                where = (
+                    "an explicit raise" if exit_id == cfg.raise_exit
+                    else "return"
+                )
+                ctx.report(
+                    "FLOW003-ip", _Pos(int(line), int(col)),
+                    f"frame handle '{var}' allocated through "
+                    f"[{_chain_text(chain)}] may reach {where} in "
+                    f"{cfg.name}() without being freed, mapped, stored "
+                    "or returned (cross-function frame leak)",
+                )
+
+
+register_ip(IpRule(
+    id="FLOW003-ip",
+    severity="error",
+    summary="frame handles from transitively-allocating callees are consumed on every path",
+    rationale=(
+        "FLOW003 sees `pfn = buddy.alloc()`; it cannot see "
+        "`pfn = self._alloc_unmerge_frame()` — a wrapper two hops above "
+        "the allocator. The call-graph summaries prove which callees "
+        "hand back a fresh frame, so the caller is held to the same "
+        "every-path discipline without any annotation; witness chains "
+        "in the message name the allocating path."
+    ),
+    scope="function",
+    applies_to=_in_packages("repro.core", "repro.fusion", "repro.mem"),
+    checker=_check_flow003ip,
+))
+
+
+# ----------------------------------------------------------------------
+# FLOW004-ip — taint laundered through call chains into artifacts
+# ----------------------------------------------------------------------
+def _expr_taint_kinds(
+    expr: ast.AST,
+    state: MutableState,
+    analysis: IpAnalysis,
+    caller_full: str,
+) -> tuple[bool, tuple[str, ...] | None]:
+    """(base-tainted, ip-taint witness chain or None) for an expression."""
+    base = False
+    chain: tuple[str, ...] | None = None
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name):
+            if state.has(sub.id, _TAINTED):
+                base = True
+            if chain is None and state.has(sub.id, _IP_TAINTED):
+                chain = (caller_full,)
+        elif isinstance(sub, ast.Call):
+            if _is_taint_source(sub):
+                base = True
+            elif chain is None:
+                targets = analysis.taint_targets(caller_full, sub)
+                if targets:
+                    chain = (caller_full, *targets[0].taint_chain)
+    return base, chain
+
+
+def _make_flow004ip_transfer(
+    analysis: IpAnalysis,
+    caller_full: str,
+    returns_are_sinks: bool,
+    report: Report | None,
+) -> Callable[[ast.AST, MutableState], None]:
+    def transfer(node: ast.AST, state: MutableState) -> None:
+        if report is not None:
+            for call in _calls_in(node):
+                if _callee(call) in _ARTIFACT_SINK_CALLEES:
+                    for arg in _call_arguments(call):
+                        base, chain = _expr_taint_kinds(
+                            arg, state, analysis, caller_full
+                        )
+                        if chain is not None and not base:
+                            report(
+                                "FLOW004-ip", call,
+                                "nondeterministic value laundered through "
+                                "a call chain flows into an artifact "
+                                f"write [{_chain_text(chain)}]; artifacts "
+                                "must be a pure function of (spec, seed)",
+                            )
+                            break
+                    continue
+                # Summary-derived sinks: a callee that forwards this
+                # parameter into an artifact write.
+                attribute_call = isinstance(call.func, ast.Attribute)
+                for local, transitive in analysis.resolved_summaries(
+                    caller_full, call
+                ):
+                    for index, arg in enumerate(call.args):
+                        param = _param_position(
+                            local, index, attribute_call
+                        )
+                        if (
+                            param is None
+                            or param not in transitive.sink_params
+                        ):
+                            continue
+                        base, chain = _expr_taint_kinds(
+                            arg, state, analysis, caller_full
+                        )
+                        if base or chain is not None:
+                            sink_chain = (
+                                caller_full,
+                                *transitive.sink_params[param],
+                            )
+                            report(
+                                "FLOW004-ip", call,
+                                "nondeterministic value (wall clock / "
+                                "global RNG / builtin hash) is passed to "
+                                "a callee that writes it into an "
+                                f"artifact [{_chain_text(sink_chain)}]",
+                            )
+                            break
+            if (
+                returns_are_sinks
+                and isinstance(node, ast.Return)
+                and node.value is not None
+            ):
+                base, chain = _expr_taint_kinds(
+                    node.value, state, analysis, caller_full
+                )
+                if chain is not None and not base:
+                    report(
+                        "FLOW004-ip", node,
+                        "nondeterministic value laundered through a call "
+                        f"chain [{_chain_text(chain)}] is returned from "
+                        "an artifact-producing function (execute_task / "
+                        "@artifact_boundary)",
+                    )
+        if isinstance(node, ast.Assign):
+            base, chain = _expr_taint_kinds(
+                node.value, state, analysis, caller_full
+            )
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if not isinstance(name, ast.Name):
+                        continue
+                    if base:
+                        state.add(name.id, _TAINTED)
+                    else:
+                        state.discard(name.id, _TAINTED)
+                    if chain is not None:
+                        state.add(name.id, _IP_TAINTED)
+                    else:
+                        state.discard(name.id, _IP_TAINTED)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if node.value is not None and isinstance(node.target, ast.Name):
+                base, chain = _expr_taint_kinds(
+                    node.value, state, analysis, caller_full
+                )
+                if base:
+                    state.add(node.target.id, _TAINTED)
+                if chain is not None:
+                    state.add(node.target.id, _IP_TAINTED)
+
+    return transfer
+
+
+def _check_flow004ip(
+    ctx: "LintContext",
+    cfg: FunctionCFG,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    caller_full: str,
+    analysis: IpAnalysis,
+) -> None:
+    returns_are_sinks = (
+        cfg.name == "execute_task"
+        or "artifact_boundary" in cfg.decorator_names()
+    )
+    transfer = _make_flow004ip_transfer(
+        analysis, caller_full, returns_are_sinks, None
+    )
+    pre_states = solve_forward(cfg, transfer)
+    _reporting_pass(
+        cfg, pre_states,
+        _make_flow004ip_transfer(
+            analysis, caller_full, returns_are_sinks, ctx.report
+        ),
+    )
+
+
+register_ip(IpRule(
+    id="FLOW004-ip",
+    severity="error",
+    summary="no clock/RNG/hash() taint through call chains into artifacts",
+    rationale=(
+        "One helper returning `time.monotonic()` and another doing the "
+        "`write_text` are each individually clean under FLOW004; the "
+        "composition is exactly the byte-identical-artifact bug the "
+        "rule exists to stop. Summaries carry 'returns taint' and "
+        "'sinks parameter N' across functions so the laundering hop "
+        "is visible, with the full chain in the message."
+    ),
+    scope="function",
+    applies_to=_in_packages("repro.runner", "repro.harness", "repro.analysis"),
+    checker=_check_flow004ip,
+))
+
+
+# ----------------------------------------------------------------------
+# FLOW005 — shard ownership of task-reachable state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProjectFinding:
+    """One whole-project finding, to be routed to its module's context."""
+
+    rule_id: str
+    module: str
+    lineno: int
+    col: int
+    message: str
+
+
+def flow005_findings(analysis: IpAnalysis) -> list[ProjectFinding]:
+    """Module-level mutations reachable from the task entry points."""
+    findings: list[ProjectFinding] = []
+    for full, chain in sorted(analysis.task_reachable.items()):
+        if full.startswith(_FLOW005_EXEMPT_PREFIXES):
+            continue
+        summary = analysis.summaries.get(full)
+        entry = analysis.graph.functions.get(full)
+        if summary is None or entry is None:
+            continue
+        module = entry[1].module
+        for write in summary.global_writes:
+            findings.append(ProjectFinding(
+                rule_id="FLOW005",
+                module=module,
+                lineno=write.lineno,
+                col=write.col,
+                message=(
+                    f"task-reachable function {full.rsplit('.', 1)[-1]}() "
+                    f"{write.detail}; state mutated under execute_task "
+                    "must be task-local (shard-ownership rule) "
+                    f"[{_chain_text(chain)}]"
+                ),
+            ))
+    return findings
+
+
+register_ip(IpRule(
+    id="FLOW005",
+    severity="error",
+    summary="code reachable from execute_task owns no module-level mutable state",
+    rationale=(
+        "The ROADMAP's sharded single-scenario simulation forks "
+        "execute_task across worker processes; that is only sound if a "
+        "task's writes land exclusively in its task-local object graph. "
+        "Any module-level dict/list/counter mutated under execute_task "
+        "is cross-task shared state — a correctness bug today "
+        "(task-order dependence) and a race tomorrow. Reachability uses "
+        "every call-graph edge (conservative), and the analyzer's own "
+        "import-time registries in repro.check are exempt."
+    ),
+    scope="project",
+    project_checker=flow005_findings,
+))
+
+
+# ----------------------------------------------------------------------
+# FLOW006 — annotations are checked claims
+# ----------------------------------------------------------------------
+def flow006_findings(analysis: IpAnalysis) -> list[ProjectFinding]:
+    """@escapes_frame decorations contradicted by the inferred summary."""
+    findings: list[ProjectFinding] = []
+    for full in sorted(analysis.summaries):
+        summary = analysis.summaries[full]
+        if not (summary.annotated_escapes and summary.provably_no_escape):
+            continue
+        func_entry = analysis.graph.functions.get(full)
+        if func_entry is None:
+            continue
+        func_facts, module_facts = func_entry
+        findings.append(ProjectFinding(
+            rule_id="FLOW006",
+            module=module_facts.module,
+            lineno=func_facts.lineno,
+            col=0,
+            message=(
+                f"@escapes_frame on {func_facts.qualname}() is "
+                "contradicted by the inferred summary: no path returns "
+                "or yields a value, so no frame handle can escape; "
+                "remove the stale annotation (it silently disables "
+                "FLOW003 for this body)"
+            ),
+        ))
+    return findings
+
+
+register_ip(IpRule(
+    id="FLOW006",
+    severity="error",
+    summary="@escapes_frame annotations agree with the inferred escape summary",
+    rationale=(
+        "An annotation is a claim, and FLOW003 trusts it by skipping "
+        "the decorated body entirely. Once summaries can *prove* "
+        "whether a function escapes a handle, a decoration that "
+        "contradicts the proof is worse than useless — it is a "
+        "hand-written suppression that outlived the code it described. "
+        "Agreement (proved or plausibly trusted) is fine; "
+        "contradiction is a hard error."
+    ),
+    scope="project",
+    project_checker=flow006_findings,
+))
+
+
+# ----------------------------------------------------------------------
+# Annotation audit (`repro lint --check-annotations`)
+# ----------------------------------------------------------------------
+def annotation_report(analysis: IpAnalysis) -> list[dict[str, object]]:
+    """Classify every @escapes_frame annotation against inference.
+
+    ``proved``
+        inference independently derives the escape — the annotation is
+        redundant and can be dropped;
+    ``contradicted``
+        the summary proves no value escapes — FLOW006 errors on these;
+    ``trusted``
+        inference can neither prove nor refute (e.g. the handle
+        escapes via a container) — the annotation is load-bearing.
+    """
+    rows: list[dict[str, object]] = []
+    for full in sorted(analysis.summaries):
+        summary = analysis.summaries[full]
+        if not summary.annotated_escapes:
+            continue
+        if summary.provably_no_escape:
+            status = "contradicted"
+        elif summary.inferred_escapes:
+            status = "proved"
+        else:
+            status = "trusted"
+        func_entry = analysis.graph.functions.get(full)
+        lineno = func_entry[0].lineno if func_entry else 0
+        path = func_entry[1].path if func_entry else ""
+        rows.append({
+            "qualname": full,
+            "annotation": "escapes_frame",
+            "status": status,
+            "path": path,
+            "line": lineno,
+        })
+    return rows

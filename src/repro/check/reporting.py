@@ -11,7 +11,13 @@ from repro.check.engine import LintResult, engine_of, rule_catalog
 #: * 1 — ast engine only.
 #: * 2 — dual-engine: per-finding ``engine`` field, ``engines`` rule
 #:   index, per-rule ``engine`` in the catalog, ``baseline`` block.
-JSON_SCHEMA_VERSION = 2
+#: * 3 — interprocedural tier: per-finding ``qualname``
+#:   (fully-qualified enclosing function, the baseline's
+#:   path-insensitive secondary key); FLOW003-ip/FLOW004-ip/FLOW005/
+#:   FLOW006 in the catalog with witness chains in messages; the
+#:   ``engine`` and ``qualname`` fields are preserved on
+#:   baseline-filtered findings too.
+JSON_SCHEMA_VERSION = 3
 
 
 def render_findings(result: LintResult, verbose: bool = False) -> str:

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.annotations import escapes_frame
 from repro.errors import OutOfMemoryError
 from repro.fusion.avl import AvlTree
 from repro.fusion.base import FusionEngine
@@ -266,7 +265,6 @@ class WindowsPageFusion(FusionEngine):
     # ------------------------------------------------------------------
     # Unmerge
     # ------------------------------------------------------------------
-    @escapes_frame
     def _alloc_unmerge_frame(self) -> int:
         """Allocate a copy-on-write target from the *bottom* of memory.
 
@@ -274,6 +272,11 @@ class WindowsPageFusion(FusionEngine):
         end-of-memory region ``MiAllocatePagesForMdl`` harvests, which
         is why freed fusion frames survive untouched until the next
         pass (the reuse behaviour of Fig. 3).
+
+        The interprocedural summary proves the returned pfn is a live
+        handle (simflow infers the escape), so callers are held to the
+        FLOW003-ip consumption discipline without an @escapes_frame
+        annotation.
         """
         kernel = self.kernel
         for pfn in kernel.buddy.iter_free_frames_asc():

@@ -1,0 +1,596 @@
+"""Unit tests for the interprocedural simflow tier.
+
+Covers the call-graph resolver (direct / hierarchy / union / builtin
+filtering / reachability witnesses), the bottom-up function summaries
+(escape inference with the narrow ownership-sink kill set, transitive
+taint, mutated-global footprints, SCC fixpoints), the FLOW006
+annotation-vs-inference check in *both* directions, the annotation
+audit statuses, baseline v1 -> v2 migration (including file-rename
+survival via the qualname key), and the on-disk summary cache
+(content-hash hits, content invalidation, and dependency-digest
+invalidation of callers when a callee's contract changes).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import textwrap
+
+from repro.check import (
+    Baseline,
+    CallGraph,
+    SummaryCache,
+    apply_baseline,
+    extract_facts,
+    lint_project,
+    load_baseline,
+    summarize_function,
+    summarize_project,
+    write_baseline,
+)
+from repro.check.callgraph import iter_functions_with_qualnames
+from repro.check.engine import LintResult
+from repro.check.ip_rules import IpAnalysis, annotation_report
+
+
+def _path_for(module: str) -> str:
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def build_analysis(sources: dict[str, str]) -> IpAnalysis:
+    """Parse in-memory modules into an :class:`IpAnalysis`."""
+    modules = {}
+    locals_by_full = {}
+    for module, raw in sources.items():
+        source = textwrap.dedent(raw)
+        tree = ast.parse(source)
+        facts = extract_facts(tree, module, _path_for(module))
+        modules[module] = facts
+        for func, qual in iter_functions_with_qualnames(tree):
+            locals_by_full[f"{module}.{qual}"] = summarize_function(
+                func, qual, facts
+            )
+    return IpAnalysis(CallGraph(modules), locals_by_full)
+
+
+def lint_modules(
+    sources: dict[str, str], rules: list[str] | None = None
+) -> LintResult:
+    return lint_project(
+        {
+            _path_for(module): textwrap.dedent(raw)
+            for module, raw in sources.items()
+        },
+        rule_ids=rules,
+    )
+
+
+def callee_set(analysis: IpAnalysis, caller: str, precise: bool) -> set[str]:
+    return {
+        edge.callee
+        for edge in analysis.graph.callees(caller, precise_only=precise)
+    }
+
+
+# ----------------------------------------------------------------------
+# Call-graph resolution
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_direct_call_same_module(self):
+        analysis = build_analysis({
+            "repro.mem.m": """
+                def helper(x):
+                    return x
+
+                def top(x):
+                    return helper(x)
+            """,
+        })
+        assert callee_set(analysis, "repro.mem.m", True) == set()
+        assert "repro.mem.m.helper" in callee_set(
+            analysis, "repro.mem.m.top", True
+        )
+
+    def test_direct_call_across_import(self):
+        analysis = build_analysis({
+            "repro.mem.lib": """
+                def compute(x):
+                    return x + 1
+            """,
+            "repro.mem.app": """
+                from repro.mem.lib import compute
+
+                def use(x):
+                    return compute(x)
+            """,
+        })
+        assert "repro.mem.lib.compute" in callee_set(
+            analysis, "repro.mem.app.use", True
+        )
+
+    def test_method_resolves_through_hierarchy(self):
+        analysis = build_analysis({
+            "repro.mem.engines": """
+                class Base:
+                    def run(self):
+                        return self.handle()
+
+                    def handle(self):
+                        return 0
+
+                class Sub(Base):
+                    def handle(self):
+                        return 1
+
+                    def trigger(self):
+                        return self.run()
+            """,
+        })
+        # Ancestor lookup: Sub.trigger -> (inherited) Base.run.
+        assert "repro.mem.engines.Base.run" in callee_set(
+            analysis, "repro.mem.engines.Sub.trigger", True
+        )
+        # Dynamic dispatch: Base.run's self.handle() reaches both the
+        # base definition and the override.
+        run_callees = callee_set(analysis, "repro.mem.engines.Base.run", True)
+        assert "repro.mem.engines.Base.handle" in run_callees
+        assert "repro.mem.engines.Sub.handle" in run_callees
+
+    def test_unknown_receiver_is_imprecise_union(self):
+        analysis = build_analysis({
+            "repro.mem.m": """
+                def process(x):
+                    return x
+
+                def go(worker, x):
+                    return worker.process(x)
+            """,
+        })
+        edges = analysis.graph.callees("repro.mem.m.go")
+        by_callee = {edge.callee: edge for edge in edges}
+        edge = by_callee["repro.mem.m.process"]
+        assert edge.kind == "union"
+        assert not edge.precise
+        assert "repro.mem.m.process" not in callee_set(
+            analysis, "repro.mem.m.go", True
+        )
+
+    def test_builtins_produce_no_edges(self):
+        analysis = build_analysis({
+            "repro.mem.m": """
+                def count(items):
+                    return len(sorted(items))
+            """,
+        })
+        assert analysis.graph.callees("repro.mem.m.count") == []
+
+    def test_reachability_returns_witness_chain(self):
+        analysis = build_analysis({
+            "repro.runner.task": """
+                def execute_task(spec, seed):
+                    return _worker(spec, seed)
+
+                def _worker(spec, seed):
+                    return _leaf(seed)
+
+                def _leaf(seed):
+                    return seed
+
+                def _unreachable():
+                    return None
+            """,
+        })
+        chains = analysis.graph.reachable_from()
+        assert chains["repro.runner.task._leaf"] == (
+            "repro.runner.task.execute_task",
+            "repro.runner.task._worker",
+            "repro.runner.task._leaf",
+        )
+        assert "repro.runner.task._unreachable" not in chains
+
+
+# ----------------------------------------------------------------------
+# Function summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def summaries(self, sources: dict[str, str]):
+        analysis = build_analysis(sources)
+        return summarize_project(analysis.graph, analysis.local_summaries)
+
+    def test_returned_fresh_frame_infers_escape(self):
+        summaries = self.summaries({
+            "repro.mem.m": """
+                def fresh(kernel):
+                    pfn = kernel.buddy.alloc(0)
+                    return pfn
+            """,
+        })
+        summary = summaries["repro.mem.m.fresh"]
+        assert summary.inferred_escapes
+        assert summary.escapes
+        assert not summary.provably_no_escape
+
+    def test_bookkeeping_write_does_not_kill_freshness(self):
+        # write()/set_frame_type() touch the frame but do not take
+        # ownership: the handle still escapes through the return.
+        summaries = self.summaries({
+            "repro.mem.m": """
+                def fresh(kernel, content):
+                    pfn = kernel.buddy.alloc(0)
+                    kernel.physmem.write(pfn, content)
+                    kernel.physmem.set_frame_type(pfn, "private")
+                    return pfn
+            """,
+        })
+        assert summaries["repro.mem.m.fresh"].inferred_escapes
+
+    def test_ownership_sink_kills_freshness(self):
+        summaries = self.summaries({
+            "repro.mem.m": """
+                def mapped(kernel, process, vaddr):
+                    pfn = kernel.buddy.alloc(0)
+                    kernel.map_page(process, vaddr, pfn, 0)
+                    return pfn
+            """,
+        })
+        assert not summaries["repro.mem.m.mapped"].inferred_escapes
+
+    def test_escape_propagates_through_wrapper(self):
+        summaries = self.summaries({
+            "repro.mem.m": """
+                def fresh(kernel):
+                    pfn = kernel.buddy.alloc(0)
+                    return pfn
+
+                def wrapper(kernel):
+                    return fresh(kernel)
+            """,
+        })
+        wrapper = summaries["repro.mem.m.wrapper"]
+        assert wrapper.escapes
+        assert "repro.mem.m.fresh" in wrapper.escape_chain
+
+    def test_taint_propagates_through_wrapper(self):
+        summaries = self.summaries({
+            "repro.runner.m": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def wrapper():
+                    return stamp()
+            """,
+        })
+        assert summaries["repro.runner.m.stamp"].returns_taint
+        assert summaries["repro.runner.m.wrapper"].returns_taint
+
+    def test_global_write_footprint(self):
+        summaries = self.summaries({
+            "repro.runner.m": """
+                REGISTRY = {}
+
+                def record(name, value):
+                    REGISTRY[name] = value
+            """,
+        })
+        writes = summaries["repro.runner.m.record"].global_writes
+        assert any(w.name == "REGISTRY" for w in writes)
+
+    def test_recursive_scc_reaches_fixpoint(self):
+        summaries = self.summaries({
+            "repro.mem.m": """
+                def even(kernel, n):
+                    if n == 0:
+                        pfn = kernel.buddy.alloc(0)
+                        return pfn
+                    return odd(kernel, n - 1)
+
+                def odd(kernel, n):
+                    return even(kernel, n - 1)
+            """,
+        })
+        assert summaries["repro.mem.m.even"].escapes
+        assert summaries["repro.mem.m.odd"].escapes
+
+
+# ----------------------------------------------------------------------
+# FLOW006: annotations are checked claims (both directions)
+# ----------------------------------------------------------------------
+FLOW006_CONTRADICTED = {
+    "repro.fusion.fake": """
+        from repro.annotations import escapes_frame
+
+        @escapes_frame
+        def claims_escape(kernel):
+            count = 0
+            count += 1
+    """,
+}
+
+FLOW006_TRUSTED = {
+    "repro.fusion.fake": """
+        from repro.annotations import escapes_frame
+
+        @escapes_frame
+        def hands_out(pool):
+            for pfn in pool.iter_free_frames_asc():
+                pool.alloc_specific(pfn)
+                return pfn
+            raise RuntimeError("empty")
+    """,
+}
+
+
+class TestFlow006:
+    def test_contradicted_annotation_is_hard_error(self):
+        result = lint_modules(FLOW006_CONTRADICTED, rules=["FLOW006"])
+        assert [f.rule_id for f in result.findings] == ["FLOW006"]
+        (finding,) = result.findings
+        assert finding.severity == "error"
+        assert "claims_escape" in finding.message
+
+    def test_agreeing_annotation_is_clean(self):
+        result = lint_modules(FLOW006_TRUSTED, rules=["FLOW006"])
+        assert result.findings == []
+
+
+class TestAnnotationAudit:
+    def test_statuses(self):
+        analysis = build_analysis({
+            "repro.fusion.fake": """
+                from repro.annotations import escapes_frame
+
+                @escapes_frame
+                def contradicted(kernel):
+                    count = 0
+                    count += 1
+
+                @escapes_frame
+                def proved(kernel):
+                    pfn = kernel.buddy.alloc(0)
+                    return pfn
+
+                @escapes_frame
+                def trusted(pool):
+                    pfn = pool.free_list.pop()
+                    return pfn
+            """,
+        })
+        rows = {
+            row["qualname"]: row["status"] for row in annotation_report(analysis)
+        }
+        assert rows == {
+            "repro.fusion.fake.contradicted": "contradicted",
+            "repro.fusion.fake.proved": "proved",
+            "repro.fusion.fake.trusted": "trusted",
+        }
+
+
+# ----------------------------------------------------------------------
+# Cross-function rule behavior (beyond the real-tree mutants)
+# ----------------------------------------------------------------------
+class TestCrossFunctionRules:
+    def test_flow003ip_flags_unconsumed_summary_escape(self):
+        result = lint_modules({
+            "repro.fusion.fake": """
+                class Pool:
+                    def fresh_frame(self, kernel):
+                        pfn = kernel.buddy.alloc(0)
+                        return pfn
+
+                    def leak(self, kernel):
+                        pfn = self.fresh_frame(kernel)
+                        kernel.clock.advance(1)
+            """,
+        }, rules=["FLOW003-ip"])
+        assert [f.rule_id for f in result.findings] == ["FLOW003-ip"]
+        assert "fresh_frame" in result.findings[0].message
+
+    def test_flow003ip_clean_when_consumed(self):
+        result = lint_modules({
+            "repro.fusion.fake": """
+                class Pool:
+                    def fresh_frame(self, kernel):
+                        pfn = kernel.buddy.alloc(0)
+                        return pfn
+
+                    def ok(self, kernel, process, vaddr):
+                        pfn = self.fresh_frame(kernel)
+                        kernel.map_page(process, vaddr, pfn, 0)
+            """,
+        }, rules=["FLOW003-ip"])
+        assert result.findings == []
+
+    def test_flow004ip_flags_transitive_taint_at_return(self):
+        result = lint_modules({
+            "repro.runner.fake": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def execute_task(spec, seed):
+                    return {"t": stamp()}
+            """,
+        }, rules=["FLOW004-ip"])
+        assert [f.rule_id for f in result.findings] == ["FLOW004-ip"]
+        assert result.findings[0].qualname == "repro.runner.fake.execute_task"
+
+    def test_flow005_flags_task_reachable_global_write(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                REGISTRY = {}
+
+                def execute_task(spec, seed):
+                    return _worker(spec, seed)
+
+                def _worker(spec, seed):
+                    REGISTRY[spec] = seed
+                    return {"seed": seed}
+            """,
+        }, rules=["FLOW005"])
+        assert [f.rule_id for f in result.findings] == ["FLOW005"]
+        assert "execute_task -> " in result.findings[0].message
+
+    def test_flow005_clean_for_task_local_state(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                def execute_task(spec, seed):
+                    return _worker(spec, seed)
+
+                def _worker(spec, seed):
+                    registry = {}
+                    registry[spec] = seed
+                    return registry
+            """,
+        }, rules=["FLOW005"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline v1 -> v2 migration and rename survival
+# ----------------------------------------------------------------------
+BASELINE_FIXTURE = {
+    "repro.runner.fake": """
+        def execute_task(spec, seed):
+            return {"seed": hash(spec)}
+    """,
+}
+
+
+class TestBaselineMigration:
+    def test_version1_file_still_loads(self, tmp_path):
+        result = lint_modules(BASELINE_FIXTURE)
+        assert result.findings
+        v1 = tmp_path / "baseline.json"
+        v1.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "message": f.message,
+                }
+                for f in result.findings
+            ],
+        }))
+        baseline = load_baseline(v1)
+        assert baseline.qualname_keys == set()
+        filtered = apply_baseline(result, baseline)
+        assert filtered.findings == []
+        assert filtered.baselined
+
+    def test_path_move_survives_via_qualname_key(self, tmp_path):
+        result = lint_modules(BASELINE_FIXTURE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(result, baseline_path)
+        document = json.loads(baseline_path.read_text())
+        assert document["version"] == 2
+        assert all(entry["qualname"] for entry in document["entries"])
+        # Same module linted from a relocated checkout: every path key
+        # misses (the prefix changed), but the module anchor keeps the
+        # qualname stable so the secondary key accepts every finding.
+        moved = lint_project({
+            "checkout/elsewhere/repro/runner/fake.py": textwrap.dedent(
+                BASELINE_FIXTURE["repro.runner.fake"]
+            ),
+        })
+        assert moved.findings
+        assert all(
+            f.qualname == "repro.runner.fake.execute_task"
+            for f in moved.findings
+        )
+        baseline = load_baseline(baseline_path)
+        assert not any(
+            ("checkout/elsewhere/repro/runner/fake.py" == path)
+            for _, path, _ in baseline.path_keys
+        )
+        filtered = apply_baseline(moved, baseline)
+        assert filtered.findings == []
+        assert filtered.baselined
+
+
+# ----------------------------------------------------------------------
+# Summary cache: content hits, content + dependency invalidation
+# ----------------------------------------------------------------------
+CALLEE_V1 = """
+def passthrough(kernel, pfn):
+    return pfn
+"""
+
+CALLEE_V2 = """
+def passthrough(kernel, pfn):
+    fresh = kernel.buddy.alloc(0)
+    return fresh
+"""
+
+
+class TestSummaryCache:
+    CALLEE_PATH = "src/repro/mem/callee.py"
+    CALLER_PATH = "src/repro/mem/caller.py"
+
+    def sources(self, callee: str) -> dict[str, str]:
+        return {
+            self.CALLEE_PATH: callee,
+            self.CALLER_PATH: (
+                "from repro.mem.callee import passthrough\n\n"
+                "def use(kernel):\n"
+                "    pfn = passthrough(kernel, 7)\n"
+                "    kernel.clock.advance(1)\n"
+            ),
+        }
+
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        sources = self.sources(CALLEE_V1)
+        cold_cache = SummaryCache(cache_path)
+        cold = lint_project(sources, cache=cold_cache)
+        cold_cache.save(set(sources))
+        assert cold_cache.misses == len(sources)
+
+        warm_cache = SummaryCache(cache_path)
+        warm = lint_project(sources, cache=warm_cache)
+        assert warm_cache.hits == len(sources)
+        assert warm_cache.misses == 0
+        assert [f.as_dict() for f in warm.findings] == [
+            f.as_dict() for f in cold.findings
+        ]
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        sources = self.sources(CALLEE_V1)
+        cache = SummaryCache(cache_path)
+        lint_project(sources, cache=cache)
+        cache.save(set(sources))
+
+        changed = dict(sources)
+        changed[self.CALLEE_PATH] = CALLEE_V2
+        warm_cache = SummaryCache(cache_path)
+        lint_project(changed, cache=warm_cache)
+        assert warm_cache.hits == len(sources) - 1
+        assert warm_cache.misses == 1
+
+    def test_callee_contract_change_recomputes_caller_findings(
+        self, tmp_path
+    ):
+        # The caller file's *content* is untouched, but once the callee
+        # starts returning a fresh frame the caller's dependency digest
+        # changes and its cached (empty) ip findings must not be
+        # trusted: the warm run now reports the leak in the caller.
+        cache_path = tmp_path / "cache.json"
+        sources = self.sources(CALLEE_V1)
+        cache = SummaryCache(cache_path)
+        before = lint_project(sources, cache=cache)
+        cache.save(set(sources))
+        assert [f for f in before.findings if f.rule_id == "FLOW003-ip"] == []
+
+        changed = dict(sources)
+        changed[self.CALLEE_PATH] = CALLEE_V2
+        warm_cache = SummaryCache(cache_path)
+        after = lint_project(changed, cache=warm_cache)
+        leaks = [f for f in after.findings if f.rule_id == "FLOW003-ip"]
+        assert [f.path for f in leaks] == [self.CALLER_PATH]
+        assert after.findings and warm_cache.hits == 1

@@ -1,12 +1,16 @@
 """Mutation meta-test: the analyzer is itself under test.
 
 Each case plants one realistic bug — a single edit — into the *real*
-engine sources (``vusion.py``, ``ksm.py``, ``buddy.py``, ``task.py``)
-and asserts the matching FLOW rule catches it.  The dual is pinned
-too: the pristine tree must analyze completely clean under the flow
-rules, with zero FLOW suppressions in ``repro.core``/``repro.fusion``.
-Together these bound both false negatives and false positives on the
-code that matters.
+engine sources (``vusion.py``, ``ksm.py``, ``buddy.py``, ``task.py``,
+``wpf.py``, ``artifacts.py``) and asserts the matching FLOW rule
+catches it.  The intraprocedural cases lint the mutated file alone;
+the interprocedural cases lint the whole ``src`` tree with the mutated
+file swapped in, because FLOW003-ip/FLOW004-ip/FLOW005/FLOW006 only
+fire across function boundaries.  The dual is pinned too: the pristine
+tree must analyze completely clean under every flow rule, with zero
+FLOW suppressions in ``repro.core``/``repro.fusion``/``repro.mem``/
+``repro.runner``.  Together these bound both false negatives and
+false positives on the code that matters.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import re
 
 import pytest
 
-from repro.check import lint_paths, lint_source, render_findings
+from repro.check import lint_paths, lint_project, lint_source, render_findings
 from repro.check.engine import module_name_for
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -25,8 +29,24 @@ VUSION = SRC / "repro" / "core" / "vusion.py"
 KSM = SRC / "repro" / "fusion" / "ksm.py"
 BUDDY = SRC / "repro" / "mem" / "buddy.py"
 TASK = SRC / "repro" / "runner" / "task.py"
+WPF = SRC / "repro" / "fusion" / "wpf.py"
+ARTIFACTS = SRC / "repro" / "runner" / "artifacts.py"
 
 FLOW_IDS = ("FLOW001", "FLOW002", "FLOW003", "FLOW004")
+IP_IDS = ("FLOW003-ip", "FLOW004-ip", "FLOW005", "FLOW006")
+
+_BASE_SOURCES: dict[str, str] | None = None
+
+
+def base_sources() -> dict[str, str]:
+    """The pristine ``src`` tree, read once per test session."""
+    global _BASE_SOURCES
+    if _BASE_SOURCES is None:
+        _BASE_SOURCES = {
+            str(path): path.read_text(encoding="utf-8")
+            for path in sorted(SRC.rglob("*.py"))
+        }
+    return _BASE_SOURCES
 
 
 def mutate(path: pathlib.Path, old: str, new: str) -> str:
@@ -153,18 +173,119 @@ def render_findings_short(findings) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# Interprocedural mutants: whole-tree analysis, one file swapped out
+# ----------------------------------------------------------------------
+def ip_findings(path: pathlib.Path, source: str):
+    sources = dict(base_sources())
+    sources[str(path)] = source
+    result = lint_project(sources, rule_ids=list(IP_IDS))
+    assert result.errors == []
+    return result.findings
+
+
+IP_MUTANTS = [
+    pytest.param(
+        WPF,
+        "        kernel.map_page(\n"
+        "            process, vaddr, new_pfn, PteFlags.USER | "
+        "PteFlags.WRITABLE\n"
+        "        )",
+        "        kernel.map_page(\n"
+        "            process, vaddr, node_pfn, PteFlags.USER | "
+        "PteFlags.WRITABLE\n"
+        "        )",
+        "FLOW003-ip",
+        id="wpf-cow-maps-stale-node-instead-of-fresh-frame",
+    ),
+    pytest.param(
+        WPF,
+        "        new_pfn = self._alloc_unmerge_frame()\n",
+        "        new_pfn = self._alloc_unmerge_frame()\n"
+        "        _spare = self._alloc_unmerge_frame()\n",
+        "FLOW003-ip",
+        id="wpf-cow-allocates-spare-frame-never-consumed",
+    ),
+    pytest.param(
+        WPF,
+        "    def full_pass(self) -> None:",
+        "    @escapes_frame\n    def full_pass(self) -> None:",
+        "FLOW006",
+        id="wpf-full-pass-false-escape-annotation",
+    ),
+    pytest.param(
+        ARTIFACTS,
+        "        return value.hex()",
+        "        return hash(value)",
+        "FLOW004-ip",
+        id="artifacts-sanitize-hashes-bytes",
+    ),
+    pytest.param(
+        ARTIFACTS,
+        'allow_nan=False) + "\\n"',
+        'allow_nan=False) + str(hash(value)) + "\\n"',
+        "FLOW004-ip",
+        id="artifacts-canonical-json-appends-salted-hash",
+    ),
+    pytest.param(
+        TASK,
+        "    result = EXPERIMENTS[spec.name].run(",
+        "    EXPERIMENTS.pop(spec.name, None)\n"
+        "    result = EXPERIMENTS[spec.name].run(",
+        "FLOW005",
+        id="task-worker-mutates-experiment-registry",
+    ),
+    pytest.param(
+        VUSION,
+        "        self.stats.merges += 1\n"
+        "        self.stats.merge_frame_log.append(node.pfn)",
+        "        self.stats.merges += 1\n"
+        "        PteFlags.SCAN_EPOCH = vaddr\n"
+        "        self.stats.merge_frame_log.append(node.pfn)",
+        "FLOW005",
+        id="vusion-merge-stamps-shared-class-attribute",
+    ),
+]
+
+
+class TestInterproceduralMutantsAreCaught:
+    @pytest.mark.parametrize("path, old, new, expected_rule", IP_MUTANTS)
+    def test_mutant_is_flagged_by_intended_rule(
+        self, path, old, new, expected_rule
+    ):
+        mutant = mutate(path, old, new)
+        findings = ip_findings(path, mutant)
+        hits = [f for f in findings if f.rule_id == expected_rule]
+        assert hits, (
+            f"mutant not caught; ip findings: "
+            f"{[(f.rule_id, f.path, f.line, f.message) for f in findings]}"
+        )
+        if expected_rule == "FLOW005":
+            # The finding must carry a call-chain witness from the
+            # task entry point down to the offending write.
+            assert any("execute_task" in f.message for f in hits)
+
+
+class TestPristineTreeInterprocedural:
+    def test_src_is_ip_clean(self):
+        result = lint_project(base_sources(), rule_ids=list(IP_IDS))
+        assert result.errors == []
+        assert result.findings == [], render_findings(result)
+
+
 class TestPristineTree:
     def test_src_is_flow_clean(self):
         result = lint_paths([str(SRC)], rule_ids=list(FLOW_IDS))
         assert result.errors == []
         assert result.findings == [], render_findings(result)
 
-    def test_no_flow_suppressions_in_core_or_fusion(self):
-        # The acceptance bar: the engine packages pass FLOW001-004 on
-        # their own merits, not via escape hatches.
+    def test_no_flow_suppressions_in_checked_packages(self):
+        # The acceptance bar: the checked packages pass FLOW001-004 and
+        # the interprocedural tier on their own merits, not via escape
+        # hatches.
         pattern = re.compile(r"#\s*simlint:\s*disable=[^\n]*(FLOW\d+|all)")
         offenders = []
-        for package in ("core", "fusion"):
+        for package in ("core", "fusion", "mem", "runner"):
             for path in sorted((SRC / "repro" / package).rglob("*.py")):
                 for lineno, line in enumerate(
                     path.read_text(encoding="utf-8").splitlines(), start=1

@@ -1,5 +1,5 @@
 """simflow rule tests: good + bad fixtures per FLOW rule, annotations,
-per-line suppressions, the v2 JSON schema (golden file) and baselines."""
+per-line suppressions, the v3 JSON schema (golden file) and baselines."""
 
 from __future__ import annotations
 
@@ -12,8 +12,11 @@ import pytest
 
 from repro.check import (
     FLOW_RULES,
+    IP_RULES,
+    Baseline,
     apply_baseline,
     findings_to_json,
+    lint_project,
     lint_source,
     load_baseline,
     write_baseline,
@@ -21,7 +24,7 @@ from repro.check import (
 from repro.check.engine import LintResult
 from repro.check.reporting import JSON_SCHEMA_VERSION
 
-GOLDEN = pathlib.Path(__file__).parent / "data" / "simlint_schema_v2.golden.json"
+GOLDEN = pathlib.Path(__file__).parent / "data" / "simlint_schema_v3.golden.json"
 
 
 def lint(source: str, module: str, rules: list[str] | None = None):
@@ -415,7 +418,7 @@ class TestFlowSuppressions:
 
 
 # ----------------------------------------------------------------------
-# JSON schema v2 (golden file) across both engines
+# JSON schema v3 (golden file) across both engines
 # ----------------------------------------------------------------------
 FIXTURE_BOTH_ENGINES = """\
 import time
@@ -427,31 +430,60 @@ def execute_task(spec, seed):
 
 
 def make_dual_engine_result() -> LintResult:
-    findings = lint_source(
-        FIXTURE_BOTH_ENGINES,
-        path="src/repro/runner/fixture.py",
-        module="repro.runner.fixture",
-    )
+    findings = lint_project({
+        "src/repro/runner/fixture.py": FIXTURE_BOTH_ENGINES,
+    }).findings
     return LintResult(findings=findings, files_scanned=1)
 
 
-class TestJsonSchemaV2:
+def make_baselined_result() -> LintResult:
+    """One finding moved behind a baseline — the filtered finding must
+    keep its engine and qualname fields through the JSON reporter."""
+    result = make_dual_engine_result()
+    flow_finding = next(f for f in result.findings if f.engine == "flow")
+    baseline = Baseline(qualname_keys={
+        (flow_finding.rule_id, flow_finding.qualname, flow_finding.message)
+    })
+    return apply_baseline(result, baseline)
+
+
+class TestJsonSchemaV3:
     def test_schema_version_bumped(self):
-        assert JSON_SCHEMA_VERSION == 2
+        assert JSON_SCHEMA_VERSION == 3
 
     def test_both_engines_report(self):
         document = json.loads(findings_to_json(make_dual_engine_result()))
         engines = {f["engine"] for f in document["findings"]}
         assert engines == {"ast", "flow"}
-        assert document["version"] == 2
-        assert set(document["engines"]["flow"]) == set(FLOW_RULES)
+        assert document["version"] == 3
+        assert set(document["engines"]["flow"]) == (
+            set(FLOW_RULES) | set(IP_RULES)
+        )
         assert all(
             document["rules"][rule_id]["engine"] == "flow"
-            for rule_id in FLOW_RULES
+            for rule_id in (*FLOW_RULES, *IP_RULES)
+        )
+
+    def test_findings_carry_qualnames(self):
+        document = json.loads(findings_to_json(make_dual_engine_result()))
+        assert all(
+            f["qualname"] == "repro.runner.fixture.execute_task"
+            for f in document["findings"]
+        )
+
+    def test_baseline_filtered_findings_keep_engine_and_qualname(self):
+        document = json.loads(findings_to_json(make_baselined_result()))
+        assert document["baseline"]["applied"] is True
+        filtered = document["baseline"]["findings"]
+        assert filtered, "expected one baseline-filtered finding"
+        assert all(f["engine"] == "flow" for f in filtered)
+        assert all(
+            f["qualname"] == "repro.runner.fixture.execute_task"
+            for f in filtered
         )
 
     def test_golden_document(self):
-        document = findings_to_json(make_dual_engine_result())
+        document = findings_to_json(make_baselined_result())
         if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
             GOLDEN.parent.mkdir(parents=True, exist_ok=True)
             GOLDEN.write_text(document, encoding="utf-8")

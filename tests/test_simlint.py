@@ -12,6 +12,7 @@ import pytest
 
 from repro.check import (
     FLOW_RULES,
+    IP_RULES,
     RULES,
     findings_to_json,
     lint_paths,
@@ -466,10 +467,13 @@ class TestReports:
         assert document["counts"] == {"DET004": 1}
         (finding,) = document["findings"]
         assert set(finding) == {
-            "rule", "severity", "path", "line", "col", "message", "engine"
+            "rule", "severity", "path", "line", "col", "message", "engine",
+            "qualname",
         }
         assert finding["engine"] == "ast"
-        assert set(document["rules"]) == set(RULES) | set(FLOW_RULES)
+        assert set(document["rules"]) == (
+            set(RULES) | set(FLOW_RULES) | set(IP_RULES)
+        )
 
     def test_human_report_mentions_location_and_rule(self):
         text = render_findings(self.make_result())
