@@ -1,20 +1,22 @@
-"""Lint-throughput regression gates for simlint + simflow.
+"""Lint-throughput regression gates for simlint + simflow + simrace.
 
 The flow engine builds a CFG and runs four dataflow fixpoints per
-function, and the interprocedural tier adds whole-program summary
-propagation on top, so a careless change (quadratic joins, re-solving
-per rule per statement, unbounded worklists) would quietly turn
-``make lint`` from subsecond into minutes.  Two gates, tracked in
-``BENCH_lint_throughput.json`` at the repository root like the scan
-and runner gates:
+function, the interprocedural tier adds whole-program summary
+propagation on top, and the race tier adds the concurrency model
+(spawn sites, worker reachability, ownership checks), so a careless
+change (quadratic joins, re-solving per rule per statement, unbounded
+worklists) would quietly turn ``make lint`` from subsecond into
+minutes.  Two gates, tracked in ``BENCH_lint_throughput.json`` at the
+repository root like the scan and runner gates:
 
-* **full tree** — the dual-engine analysis plus interprocedural tier
-  over the real tree (``src``, ``tests``, ``benchmarks``,
-  ``examples``) under a per-file and an absolute time budget;
+* **full tree** — all three static engines over the real tree
+  (``src``, ``tests``, ``benchmarks``, ``examples``) under a per-file
+  and an absolute time budget;
 * **incremental** — a warm run against the on-disk summary cache
-  (nothing changed, so every file is a content hit and every
-  interprocedural result a dependency-digest hit) must be at least
-  ``WARM_SPEEDUP_MIN``x faster than the cold run that populated it.
+  (nothing changed, so every file is a content hit, and every
+  interprocedural *and race* function-scope result a dependency-digest
+  hit) must be at least ``WARM_SPEEDUP_MIN``x faster than the cold
+  run that populated it, with a byte-identical JSON report.
 
 Wall-clock budgets are generous (CI machines vary); the point is to
 catch order-of-magnitude regressions, not few-percent noise.
@@ -26,7 +28,7 @@ import json
 import pathlib
 import time
 
-from repro.check import lint_paths
+from repro.check import RACE_RULES, findings_to_json, lint_paths, rule_catalog
 from repro.check.engine import iter_python_files
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -96,6 +98,9 @@ def test_full_tree_lint_stays_under_budget():
 
 def test_incremental_lint_warm_beats_cold(tmp_path):
     cache_path = str(tmp_path / "lint-cache.json")
+    # The default rule set must include the race tier: the warm gate
+    # below is only meaningful if RACE analysis rides the same cache.
+    assert set(RACE_RULES) <= set(rule_catalog())
 
     start = time.perf_counter()
     cold = lint_paths(SRC_PATHS, cache_path=cache_path)
@@ -110,10 +115,10 @@ def test_incremental_lint_warm_beats_cold(tmp_path):
         warm_best = min(warm_best, time.perf_counter() - start)
     assert warm is not None
     assert warm.errors == []
-    # Byte-identical results from the cache or the gate means nothing.
-    assert [f.as_dict() for f in warm.findings] == [
-        f.as_dict() for f in cold.findings
-    ]
+    # Byte-identical reports from the cache or the gate means
+    # nothing: the global (path, line, rule, qualname) ordering plus
+    # cached summaries must reproduce the cold run exactly.
+    assert findings_to_json(warm) == findings_to_json(cold)
 
     speedup = cold_seconds / warm_best
     _update_report("incremental", {
@@ -123,6 +128,7 @@ def test_incremental_lint_warm_beats_cold(tmp_path):
         "warm_wall_seconds": warm_best,
         "warm_speedup": speedup,
         "warm_speedup_min": WARM_SPEEDUP_MIN,
+        "race_rules_gated": sorted(RACE_RULES),
     })
     print(
         f"\nincremental lint: cold {cold_seconds:.2f}s, "

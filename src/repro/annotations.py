@@ -60,3 +60,36 @@ def artifact_boundary(func: _F) -> _F:
     marker.
     """
     return func
+
+
+def worker_entry(func: _F) -> _F:
+    """Mark a function that runs on the worker side of a process fork.
+
+    simrace (``repro.check.race``) roots its worker-reachability
+    traversal at every ``@worker_entry`` function, in addition to the
+    spawn targets it discovers on its own (``Process(target=...)``,
+    ``executor.submit(fn, ...)``) and the built-in task entry points.
+    Everything reachable from a worker entry is *transferred-to-worker*
+    in the ownership lattice: it may read fork-inherited module state
+    only when that state is declared shared-read-only in simrace's
+    ``OWNERSHIP_FACTS`` table (RACE003), and nondeterministic or
+    unpicklable values must not cross its communication edges back to
+    the parent (RACE004).
+    """
+    return func
+
+
+def owned_by_worker(func: _F) -> _F:
+    """Declare a function's state accesses as worker-owned by design.
+
+    The decorated function is asserted to run only after the fork, on
+    state the worker owns outright (its task-local object graph plus
+    anything the parent explicitly transferred).  RACE003 therefore
+    skips its fork-inherited-read check for this body: reads that would
+    otherwise need an ``OWNERSHIP_FACTS`` declaration are part of the
+    function's contract.  Like ``@escapes_frame`` this is a *claim*,
+    not a suppression — prefer declaring genuinely read-only registries
+    in ``OWNERSHIP_FACTS`` and keep this marker for state that is
+    mutated by the worker after transfer.
+    """
+    return func

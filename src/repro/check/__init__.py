@@ -1,7 +1,7 @@
 """Correctness tooling for the simulation's own invariants.
 
-Two layers, mirroring how the kernel pairs ``checkpatch``-style static
-checks with runtime sanitizers (KASAN):
+Static tiers plus a runtime sanitizer, mirroring how the kernel pairs
+``checkpatch``-style static checks with runtime sanitizers (KASAN):
 
 * **simlint** (:mod:`repro.check.engine`, :mod:`repro.check.rules`) —
   an AST linter enforcing the determinism and layering contracts the
@@ -17,6 +17,12 @@ checks with runtime sanitizers (KASAN):
   function summaries: cross-function leak/taint tracking
   (FLOW003-ip/FLOW004-ip), the shard-ownership rule (FLOW005) and
   annotation-vs-inference checking (FLOW006).
+* **simrace** (:mod:`repro.check.race`) — an ownership & determinism
+  race detector over the extracted concurrency model (spawn sites,
+  communication edges): fork-boundary aliasing (RACE001), unordered
+  result merges (RACE002), undeclared worker reads of fork-inherited
+  state (RACE003) and nondeterministic/unpicklable values on the
+  pickle boundary (RACE004).
 * **FrameSan** (:mod:`repro.check.sanitizer`) — a runtime frame
   sanitizer (``REPRO_SANITIZE=1``) that poisons freed frames, detects
   use-after-free / double-free / CoW violations and audits refcount
@@ -44,8 +50,15 @@ from repro.check.engine import (
     lint_source,
     rule_catalog,
 )
+from repro.check.fixes import FIXABLE_RULES, fix_paths, fix_source
 from repro.check.flow_rules import FLOW_RULES, FlowRule
 from repro.check.ip_rules import IP_RULES, IpAnalysis, IpRule
+from repro.check.race import (
+    OWNERSHIP_FACTS,
+    RACE_RULES,
+    RaceAnalysis,
+    RaceRule,
+)
 from repro.check.summaries import (
     LocalSummary,
     TransitiveSummary,
@@ -53,7 +66,11 @@ from repro.check.summaries import (
     summarize_project,
 )
 from repro.check.lattice import solve_forward, solve_must_reach
-from repro.check.reporting import render_findings, findings_to_json
+from repro.check.reporting import (
+    render_findings,
+    findings_to_json,
+    findings_to_sarif,
+)
 from repro.check.rules import RULES, Rule
 from repro.check.sanitizer import (
     FrameSan,
@@ -82,6 +99,13 @@ __all__ = [
     "IP_RULES",
     "IpRule",
     "IpAnalysis",
+    "RACE_RULES",
+    "RaceRule",
+    "RaceAnalysis",
+    "OWNERSHIP_FACTS",
+    "FIXABLE_RULES",
+    "fix_paths",
+    "fix_source",
     "LocalSummary",
     "TransitiveSummary",
     "summarize_function",
@@ -89,6 +113,7 @@ __all__ = [
     "Baseline",
     "render_findings",
     "findings_to_json",
+    "findings_to_sarif",
     "RULES",
     "Rule",
     "FLOW_RULES",

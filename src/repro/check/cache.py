@@ -29,7 +29,9 @@ import json
 import pathlib
 
 #: Bump when the cached shapes (facts/summaries/findings) change.
-CACHE_VERSION = 1
+#: v2: concurrency facts (spawns/comms/mutable bindings), global reads
+#: and unordered-return bits joined the cached facts/summaries.
+CACHE_VERSION = 2
 
 
 def content_hash(text: str) -> str:

@@ -99,6 +99,74 @@ class CallSite:
 
 
 @dataclass
+class SpawnSite:
+    """One point where control crosses a process (or pool) boundary.
+
+    simrace's concurrency model: ``kind`` distinguishes a raw
+    ``Process(target=...)`` launch, an executor ``submit``/``map``/
+    ``apply_async`` hand-off, and the ``_run_serial``-style *serial*
+    degradation (an in-process call of the worker entry — same
+    ownership contract, no actual fork).  ``payload`` holds the plain
+    names captured into the spawned side's arguments; RACE001 checks
+    that the parent does not mutate them after the hand-off.
+    """
+
+    caller: str           #: in-module qualname of the spawning function
+    kind: str             #: "process" | "submit" | "serial"
+    target: str | None    #: dotted text of the spawned callable, or "<lambda>"
+    payload: tuple[str, ...]  #: names captured into the payload
+    lineno: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "caller": self.caller, "kind": self.kind, "target": self.target,
+            "payload": list(self.payload), "line": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpawnSite":
+        return cls(
+            caller=data["caller"], kind=data["kind"], target=data["target"],
+            payload=tuple(data["payload"]), lineno=data["line"],
+            col=data["col"],
+        )
+
+
+@dataclass
+class CommEdge:
+    """One point where a value crosses between parent and worker.
+
+    ``kind``: ``"send"`` (pipe/queue marshaling, ``conn.send(...)``),
+    ``"spec"`` (TaskSpec construction — the payload the worker will be
+    handed), ``"callback"`` (an ``on_*`` hook invocation — results
+    flowing back into parent-owned state).
+    """
+
+    caller: str
+    kind: str             #: "send" | "spec" | "callback"
+    payload: tuple[str, ...]  #: names appearing in the crossing value
+    lineno: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "caller": self.caller, "kind": self.kind,
+            "payload": list(self.payload), "line": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CommEdge":
+        return cls(
+            caller=data["caller"], kind=data["kind"],
+            payload=tuple(data["payload"]), lineno=data["line"],
+            col=data["col"],
+        )
+
+
+@dataclass
 class FunctionFacts:
     """Identity and span of one function definition."""
 
@@ -142,7 +210,14 @@ class ModuleFacts:
     imports: dict[str, str] = field(default_factory=dict)
     #: names bound by module-level statements (constants, registries).
     module_names: tuple[str, ...] = ()
+    #: module-level names bound to a *mutable* value (dict/list/set
+    #: display, comprehension, or dict()/list()/set()-style call) —
+    #: the candidate fork-inherited state RACE003 audits reads of.
+    mutable_module_names: tuple[str, ...] = ()
     calls: list[CallSite] = field(default_factory=list)
+    #: simrace's concurrency model: spawn points and comm edges.
+    spawns: list[SpawnSite] = field(default_factory=list)
+    comms: list[CommEdge] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -151,7 +226,10 @@ class ModuleFacts:
             "classes": {c: list(b) for c, b in self.classes.items()},
             "imports": dict(self.imports),
             "module_names": list(self.module_names),
+            "mutable_module_names": list(self.mutable_module_names),
             "calls": [c.to_dict() for c in self.calls],
+            "spawns": [s.to_dict() for s in self.spawns],
+            "comms": [c.to_dict() for c in self.comms],
         }
 
     @classmethod
@@ -165,7 +243,10 @@ class ModuleFacts:
             classes={c: tuple(b) for c, b in data["classes"].items()},
             imports=dict(data["imports"]),
             module_names=tuple(data["module_names"]),
+            mutable_module_names=tuple(data["mutable_module_names"]),
             calls=[CallSite.from_dict(c) for c in data["calls"]],
+            spawns=[SpawnSite.from_dict(s) for s in data["spawns"]],
+            comms=[CommEdge.from_dict(c) for c in data["comms"]],
         )
 
 
@@ -180,6 +261,47 @@ def _dotted_text(node: ast.AST) -> str | None:
     return ".".join(reversed(parts))
 
 
+#: Constructor calls that yield a mutable container at module level.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque", "ChainMap",
+})
+
+#: Methods whose receiver is read container-style (registry lookups).
+_CONTAINER_READ_METHODS = frozenset({"get", "items", "keys", "values"})
+
+#: Spec types whose construction is a parent→worker communication edge
+#: (the constructed value is pickled across the fork).
+_SPEC_COMM_TYPES = frozenset({"TaskSpec"})
+
+
+def _is_mutable_binding(value: ast.AST) -> bool:
+    """Is a module-level RHS a mutable container (registry-shaped)?"""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                          ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _payload_names(*exprs: ast.AST) -> tuple[str, ...]:
+    """Plain names referenced by payload expressions (``self``/``cls``
+    excluded — parent bookkeeping on self after a spawn is normal)."""
+    names: set[str] = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id not in ("self", "cls"):
+                names.add(node.id)
+    return tuple(sorted(names))
+
+
 class _FactsExtractor(ast.NodeVisitor):
     """Single pass over one module tree, scope-stack attribution."""
 
@@ -188,6 +310,7 @@ class _FactsExtractor(ast.NodeVisitor):
         self._scope: list[str] = []        # qualname components
         self._class_stack: list[str] = []  # enclosing class names
         self._module_names: set[str] = set()
+        self._mutable_names: set[str] = set()
 
     # -- scopes --------------------------------------------------------
     def _caller(self) -> str:
@@ -269,15 +392,20 @@ class _FactsExtractor(ast.NodeVisitor):
     # -- module-level bindings ------------------------------------------
     def visit_Assign(self, node: ast.Assign) -> None:
         if not self._scope:
+            mutable = _is_mutable_binding(node.value)
             for target in node.targets:
                 for sub in ast.walk(target):
                     if isinstance(sub, ast.Name):
                         self._module_names.add(sub.id)
+                        if mutable:
+                            self._mutable_names.add(sub.id)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if not self._scope and isinstance(node.target, ast.Name):
             self._module_names.add(node.target.id)
+            if node.value is not None and _is_mutable_binding(node.value):
+                self._mutable_names.add(node.target.id)
         self.generic_visit(node)
 
     # -- calls ----------------------------------------------------------
@@ -324,10 +452,81 @@ class _FactsExtractor(ast.NodeVisitor):
                 arg_names=arg_names,
                 arg_refs=tuple(refs),
             ))
+            self._extract_concurrency(node, name, attr)
         self.generic_visit(node)
+
+    # -- concurrency model (simrace) -------------------------------------
+    def _extract_concurrency(
+        self, node: ast.Call, name: str, attr: bool
+    ) -> None:
+        caller = self._caller()
+
+        def spawn_target(expr: ast.AST) -> str | None:
+            if isinstance(expr, ast.Lambda):
+                return "<lambda>"
+            return _dotted_text(expr)
+
+        if name == "Process":
+            target: str | None = None
+            payload_exprs: list[ast.AST] = []
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = spawn_target(keyword.value)
+                elif keyword.arg in ("args", "kwargs"):
+                    payload_exprs.append(keyword.value)
+            if target is not None:
+                self.facts.spawns.append(SpawnSite(
+                    caller=caller, kind="process", target=target,
+                    payload=_payload_names(*payload_exprs),
+                    lineno=node.lineno, col=node.col_offset,
+                ))
+        elif attr and name in ("submit", "apply_async", "map") and node.args:
+            self.facts.spawns.append(SpawnSite(
+                caller=caller, kind="submit",
+                target=spawn_target(node.args[0]),
+                payload=_payload_names(
+                    *node.args[1:], *(kw.value for kw in node.keywords)
+                ),
+                lineno=node.lineno, col=node.col_offset,
+            ))
+        elif name == "execute_task":
+            # The serial degradation: the worker entry runs in-process,
+            # under the same ownership contract, with no actual fork.
+            self.facts.spawns.append(SpawnSite(
+                caller=caller, kind="serial", target=name,
+                payload=_payload_names(
+                    *node.args, *(kw.value for kw in node.keywords)
+                ),
+                lineno=node.lineno, col=node.col_offset,
+            ))
+        if attr and name == "send":
+            self.facts.comms.append(CommEdge(
+                caller=caller, kind="send",
+                payload=_payload_names(*node.args),
+                lineno=node.lineno, col=node.col_offset,
+            ))
+        elif name in _SPEC_COMM_TYPES or (
+            name == "cls"
+            and self._class_stack
+            and self._class_stack[-1] in _SPEC_COMM_TYPES
+        ):
+            self.facts.comms.append(CommEdge(
+                caller=caller, kind="spec",
+                payload=_payload_names(
+                    *node.args, *(kw.value for kw in node.keywords)
+                ),
+                lineno=node.lineno, col=node.col_offset,
+            ))
+        elif attr and name.startswith("on_"):
+            self.facts.comms.append(CommEdge(
+                caller=caller, kind="callback",
+                payload=_payload_names(*node.args),
+                lineno=node.lineno, col=node.col_offset,
+            ))
 
     def finish(self) -> ModuleFacts:
         self.facts.module_names = tuple(sorted(self._module_names))
+        self.facts.mutable_module_names = tuple(sorted(self._mutable_names))
         return self.facts
 
 

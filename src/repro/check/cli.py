@@ -8,10 +8,16 @@ from repro.check.baseline import apply_baseline, load_baseline, write_baseline
 from repro.check.engine import (
     check_annotations,
     engine_of,
+    iter_python_files,
     lint_paths,
     rule_catalog,
 )
-from repro.check.reporting import findings_to_json, render_findings
+from repro.check.fixes import FIXABLE_RULES, fix_paths
+from repro.check.reporting import (
+    findings_to_json,
+    findings_to_sarif,
+    render_findings,
+)
 
 DEFAULT_PATHS = ["src"]
 
@@ -20,18 +26,26 @@ def add_lint_parser(sub) -> None:
     """Register the ``lint`` subcommand on the main argparse tree."""
     lint = sub.add_parser(
         "lint",
-        help="run simlint+simflow, the simulation-invariant analyzers",
+        help="run simlint+simflow+simrace, the simulation-invariant "
+             "analyzers",
         description="Statically enforce determinism, write-barrier, "
-                    "layering and control-flow (S⊕F, ledger, frame-leak, "
-                    "taint) invariants. Exit 0 iff no findings.",
+                    "layering, control-flow (S⊕F, ledger, frame-leak, "
+                    "taint) and concurrency-ownership (RACE) invariants. "
+                    "Exit 0 iff no findings.",
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files/directories to lint (default: src)")
     lint.add_argument("--rule", action="append", dest="rules", default=None,
                       metavar="ID", choices=sorted(rule_catalog()),
                       help="check only this rule (repeatable)")
-    lint.add_argument("--format", choices=["human", "json"], default="human",
-                      help="report format (default human)")
+    lint.add_argument("--format", choices=["human", "json", "sarif"],
+                      default="human",
+                      help="report format (default human; sarif for "
+                           "GitHub code scanning)")
+    lint.add_argument("--fix", action="store_true",
+                      help="autofix the mechanical rules (DET004 hash() "
+                           "-> zlib.crc32, API001 removed names), then "
+                           "lint the fixed tree")
     lint.add_argument("--verbose", action="store_true",
                       help="include each finding's rationale")
     lint.add_argument("--list-rules", action="store_true",
@@ -82,6 +96,18 @@ def cmd_lint(args) -> int:
             f"{contradicted} contradicted"
         )
         return 1 if contradicted else 0
+    if args.fix:
+        fixable = tuple(
+            rule_id for rule_id in (args.rules or FIXABLE_RULES)
+            if rule_id in FIXABLE_RULES
+        )
+        changed = fix_paths(
+            iter_python_files(args.paths or DEFAULT_PATHS), fixable
+        )
+        for path in sorted(changed):
+            print(f"fixed {path}: {len(changed[path])} rewrite(s)")
+        if changed:
+            print(f"--fix rewrote {len(changed)} file(s)")
     result = lint_paths(
         args.paths or DEFAULT_PATHS,
         rule_ids=args.rules,
@@ -101,6 +127,8 @@ def cmd_lint(args) -> int:
         return 0
     if args.format == "json":
         print(findings_to_json(result), end="")
+    elif args.format == "sarif":
+        print(findings_to_sarif(result), end="")
     else:
         print(render_findings(result, verbose=args.verbose))
     return 0 if result.clean else 1

@@ -1,6 +1,6 @@
 """simlint's engine: walk files, run rule checkers, filter suppressions.
 
-Two analyzers run behind this one engine:
+Three analyzers run behind this one engine:
 
 * the **ast** engine — line-local :class:`~repro.check.rules.Rule`
   visitors (DET/MEM/LAY families);
@@ -10,7 +10,11 @@ Two analyzers run behind this one engine:
   interprocedural tier (:class:`~repro.check.ip_rules.IpRule`,
   FLOW00x-ip/FLOW005/FLOW006) built on the project call graph
   (:mod:`repro.check.callgraph`) and bottom-up function summaries
-  (:mod:`repro.check.summaries`).
+  (:mod:`repro.check.summaries`);
+* the **race** engine (simrace) — ownership & determinism checks over
+  the concurrency model (:class:`~repro.check.race.RaceRule`, RACE
+  family): spawn sites and communication edges extracted into the
+  module facts, closed over the same call graph and summaries.
 
 Two entry points with different contracts:
 
@@ -51,6 +55,7 @@ from repro.check.ip_rules import (
     IpRule,
     annotation_report,
 )
+from repro.check.race import RACE_RULES, RaceAnalysis, RaceRule
 from repro.check.rules import RULES, Rule
 from repro.check.summaries import LocalSummary, summarize_function
 
@@ -58,17 +63,20 @@ from repro.check.summaries import LocalSummary, summarize_function
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s-]+|all)")
 
 
-def rule_catalog() -> dict[str, Rule | FlowRule | IpRule]:
-    """The merged rule catalog: ast, then flow, then interprocedural."""
-    catalog: dict[str, Rule | FlowRule | IpRule] = {}
+def rule_catalog() -> dict[str, Rule | FlowRule | IpRule | RaceRule]:
+    """The merged rule catalog: ast, flow, interprocedural, race."""
+    catalog: dict[str, Rule | FlowRule | IpRule | RaceRule] = {}
     catalog.update(RULES)
     catalog.update(FLOW_RULES)
     catalog.update(IP_RULES)
+    catalog.update(RACE_RULES)
     return catalog
 
 
 def engine_of(rule_id: str) -> str:
-    """Which analyzer owns a rule id: ``"flow"`` or ``"ast"``."""
+    """Which analyzer owns a rule id: ``"ast"``, ``"flow"`` or ``"race"``."""
+    if rule_id in RACE_RULES:
+        return "race"
     return "flow" if rule_id in FLOW_RULES or rule_id in IP_RULES else "ast"
 
 
@@ -193,6 +201,7 @@ def _selected_rules(
         if rule_id not in RULES
         and rule_id not in FLOW_RULES
         and rule_id not in IP_RULES
+        and rule_id not in RACE_RULES
     ]
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
@@ -206,6 +215,14 @@ def _selected_ip_rules(rule_ids: list[str] | None) -> list[IpRule]:
     if not rule_ids:
         return list(IP_RULES.values())
     return [IP_RULES[rule_id] for rule_id in rule_ids if rule_id in IP_RULES]
+
+
+def _selected_race_rules(rule_ids: list[str] | None) -> list[RaceRule]:
+    if not rule_ids:
+        return list(RACE_RULES.values())
+    return [
+        RACE_RULES[rule_id] for rule_id in rule_ids if rule_id in RACE_RULES
+    ]
 
 
 def lint_source(
@@ -355,7 +372,8 @@ def _ip_function_findings(
     info: _FileInfo,
     path: str,
     analysis: IpAnalysis,
-    rules: list[IpRule],
+    race_analysis: "RaceAnalysis | None",
+    rules: list[IpRule | RaceRule],
 ) -> list[Finding]:
     tree = info.tree
     if tree is None:
@@ -366,7 +384,10 @@ def _ip_function_findings(
         cfg = build_cfg(func)
         for rule in rules:
             assert rule.checker is not None
-            rule.checker(ctx, cfg, func, full, analysis)
+            rule.checker(
+                ctx, cfg, func, full,
+                race_analysis if isinstance(rule, RaceRule) else analysis,
+            )
     return ctx.findings
 
 
@@ -389,6 +410,7 @@ def lint_project(
     use_cache = cache is not None and not rule_ids
     ast_rules, flow_rules = _selected_rules(rule_ids)
     ip_rules = _selected_ip_rules(rule_ids)
+    race_rules = _selected_race_rules(rule_ids)
     infos: dict[str, _FileInfo] = {}
 
     for path in sorted(file_sources):
@@ -445,9 +467,10 @@ def lint_project(
         for qual, summary in info.local_summaries.items()
     }
     analysis = IpAnalysis(CallGraph(modules), locals_by_full)
+    race_analysis = RaceAnalysis(analysis) if race_rules else None
 
-    function_rules = [
-        rule for rule in ip_rules
+    function_rules: list[IpRule | RaceRule] = [
+        rule for rule in (*ip_rules, *race_rules)
         if rule.scope == "function" and rule.checker is not None
     ]
     for path, info in infos.items():
@@ -468,7 +491,9 @@ def lint_project(
             ip_findings = [Finding.from_dict(f) for f in cached_ip]
         else:
             ip_findings = _attach_qualnames(
-                _ip_function_findings(info, path, analysis, applicable),
+                _ip_function_findings(
+                    info, path, analysis, race_analysis, applicable
+                ),
                 info.module,
                 info.facts,
             )
@@ -482,10 +507,15 @@ def lint_project(
     # Whole-project rules: cheap (summaries only), recomputed each run.
     by_module = {info.module: (path, info) for path, info in infos.items()}
     project_ctxs: dict[str, LintContext] = {}
-    for rule in ip_rules:
+    for rule in (*ip_rules, *race_rules):
         if rule.scope != "project" or rule.project_checker is None:
             continue
-        for pf in rule.project_checker(analysis):
+        project_arg = (
+            race_analysis if isinstance(rule, RaceRule) else analysis
+        )
+        if project_arg is None:
+            continue
+        for pf in rule.project_checker(project_arg):
             entry = by_module.get(pf.module)
             if entry is None:
                 continue
@@ -501,13 +531,14 @@ def lint_project(
             _attach_qualnames(ctx.findings, module, info.facts)
         )
 
-    for path in sorted(infos):
-        result.findings.extend(
-            sorted(
-                infos[path].findings,
-                key=lambda f: (f.line, f.col, f.rule_id),
-            )
-        )
+    # Deterministic global ordering: byte-identical reports whether a
+    # finding came out of the cache or a fresh analysis pass.
+    result.findings = sorted(
+        (f for info in infos.values() for f in info.findings),
+        key=lambda f: (
+            f.path, f.line, f.rule_id, f.qualname, f.col, f.message
+        ),
+    )
     return result
 
 

@@ -1,0 +1,228 @@
+"""``repro lint --fix``: mechanical autofixes for DET004 and API001.
+
+Only rules with a *provably equivalent-or-better* rewrite are fixable:
+
+* **DET004** — ``hash(expr)`` becomes
+  ``zlib.crc32(repr(expr).encode())``: stable across processes (no
+  ``PYTHONHASHSEED`` salting), same "cheap int from a value" shape the
+  offending call sites want.  A missing ``import zlib`` is added after
+  the module's import block.
+* **API001** — removed pre-runner names are replaced by their typed
+  successors where the substitution is a pure token rewrite:
+  ``EXPERIMENT_REGISTRY`` → ``EXPERIMENTS`` and ``ENGINE_FACTORIES`` →
+  ``attack_engine_factories()`` (the import form without the call).
+  ``ATTACK_ENV_DEFAULTS`` has no mechanical equivalent (its
+  replacement is per-attack ``env_defaults``) and is left for a human.
+
+The fixer is **suppression-respecting** — a line carrying
+``# simlint: disable=<rule>`` (or ``=all``) is never rewritten; the
+suppression documents a deliberate exception — and **idempotent**:
+fixes are applied to a fixpoint (re-parse, re-scan) so a second
+``--fix`` run is always a no-op.  Edits are span-based on the AST's
+``(lineno, col_offset)``–``(end_lineno, end_col_offset)`` ranges,
+applied back-to-front so earlier spans stay valid.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+
+from repro.check.engine import _SUPPRESS_RE
+
+#: The rules --fix knows how to rewrite.
+FIXABLE_RULES = ("DET004", "API001")
+
+#: API001 token rewrites: removed name -> (use form, import form).
+#: ``ATTACK_ENV_DEFAULTS`` is deliberately absent — see module doc.
+_API_REPLACEMENTS: dict[str, tuple[str, str]] = {
+    "EXPERIMENT_REGISTRY": ("EXPERIMENTS", "EXPERIMENTS"),
+    "ENGINE_FACTORIES": (
+        "attack_engine_factories()", "attack_engine_factories"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One span replacement derived from one finding."""
+
+    rule_id: str
+    lineno: int       #: 1-based start line
+    col: int          #: 0-based start column
+    end_lineno: int
+    end_col: int
+    replacement: str
+
+
+def _suppressed(source_lines: list[str], rule_id: str, line: int) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    match = _SUPPRESS_RE.search(source_lines[line - 1])
+    if match is None:
+        return False
+    spec = match.group(1).strip()
+    if spec == "all":
+        return True
+    return rule_id in {part.strip() for part in spec.split(",")}
+
+
+def _collect_fixes(
+    source: str, tree: ast.AST, rule_ids: tuple[str, ...]
+) -> tuple[list[Fix], bool]:
+    """(fixes for one pass, does any DET004 fix need ``import zlib``)."""
+    source_lines = source.splitlines()
+    fixes: list[Fix] = []
+    need_zlib = False
+    for node in ast.walk(tree):
+        if (
+            "DET004" in rule_ids
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and len(node.args) == 1
+            and not node.keywords
+            and node.end_lineno is not None
+            and node.end_col_offset is not None
+        ):
+            if _suppressed(source_lines, "DET004", node.lineno):
+                continue
+            arg_src = ast.get_source_segment(source, node.args[0])
+            if arg_src is None:
+                continue
+            fixes.append(Fix(
+                rule_id="DET004",
+                lineno=node.lineno, col=node.col_offset,
+                end_lineno=node.end_lineno, end_col=node.end_col_offset,
+                replacement=f"zlib.crc32(repr({arg_src}).encode())",
+            ))
+            need_zlib = True
+        elif (
+            "API001" in rule_ids
+            and isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in _API_REPLACEMENTS
+            and node.end_lineno is not None
+            and node.end_col_offset is not None
+        ):
+            if _suppressed(source_lines, "API001", node.lineno):
+                continue
+            fixes.append(Fix(
+                rule_id="API001",
+                lineno=node.lineno, col=node.col_offset,
+                end_lineno=node.end_lineno, end_col=node.end_col_offset,
+                replacement=_API_REPLACEMENTS[node.id][0],
+            ))
+        elif "API001" in rule_ids and isinstance(node, ast.ImportFrom):
+            if _suppressed(source_lines, "API001", node.lineno):
+                continue
+            for alias in node.names:
+                if (
+                    alias.name in _API_REPLACEMENTS
+                    and alias.asname is None
+                    and alias.lineno is not None
+                    and alias.end_lineno is not None
+                ):
+                    fixes.append(Fix(
+                        rule_id="API001",
+                        lineno=alias.lineno, col=alias.col_offset,
+                        end_lineno=alias.end_lineno,
+                        end_col=alias.end_col_offset,
+                        replacement=_API_REPLACEMENTS[alias.name][1],
+                    ))
+    return fixes, need_zlib
+
+
+def _apply_fixes(source: str, fixes: list[Fix]) -> tuple[str, list[Fix]]:
+    """Apply span replacements back-to-front; overlapping spans keep
+    only the outermost (the fixpoint loop catches what remains).
+    Returns the new text and the fixes actually applied."""
+    offsets: list[int] = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+
+    def start_of(fix: Fix) -> int:
+        return offsets[fix.lineno - 1] + fix.col
+
+    def end_of(fix: Fix) -> int:
+        return offsets[fix.end_lineno - 1] + fix.end_col
+
+    applied_until = len(source) + 1
+    text = source
+    applied: list[Fix] = []
+    for fix in sorted(fixes, key=start_of, reverse=True):
+        start, end = start_of(fix), end_of(fix)
+        if end > applied_until:
+            continue  # nested inside an already-applied span
+        text = text[:start] + fix.replacement + text[end:]
+        applied_until = start
+        applied.append(fix)
+    return text, applied
+
+
+def _ensure_zlib_import(source: str, tree: ast.AST) -> str:
+    """Insert ``import zlib`` after the module's import block."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and any(
+            alias.name == "zlib" for alias in node.names
+        ):
+            return source
+    last_import_end = 0
+    for stmt in getattr(tree, "body", []):
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import_end = stmt.end_lineno or stmt.lineno
+        elif last_import_end:
+            break  # first statement after the leading import block
+        elif isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            last_import_end = stmt.end_lineno or stmt.lineno  # docstring
+    lines = source.splitlines(keepends=True)
+    insertion = "import zlib\n"
+    return "".join([
+        *lines[:last_import_end], insertion, *lines[last_import_end:],
+    ])
+
+
+def fix_source(
+    source: str, rule_ids: tuple[str, ...] = FIXABLE_RULES
+) -> tuple[str, list[Fix]]:
+    """Rewrite one source string to a fixpoint.
+
+    Returns ``(new source, every fix applied across all passes)``.
+    Unparseable input is returned unchanged (the lint run will report
+    the syntax error; the fixer must not guess).
+    """
+    applied: list[Fix] = []
+    text = source
+    for _pass in range(10):  # fixpoint bound; nesting depth in practice <= 2
+        try:
+            tree = ast.parse(text)
+        except SyntaxError:
+            return source, []
+        fixes, need_zlib = _collect_fixes(text, tree, rule_ids)
+        if not fixes:
+            break
+        text, this_pass = _apply_fixes(text, fixes)
+        if need_zlib:
+            text = _ensure_zlib_import(text, ast.parse(text))
+        applied.extend(this_pass)
+    return text, applied
+
+
+def fix_paths(
+    paths: list[pathlib.Path], rule_ids: tuple[str, ...] = FIXABLE_RULES
+) -> dict[str, list[Fix]]:
+    """Fix files in place; returns ``{path: fixes}`` for changed files."""
+    changed: dict[str, list[Fix]] = {}
+    for path in paths:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        new_source, fixes = fix_source(source, rule_ids)
+        if fixes and new_source != source:
+            path.write_text(new_source, encoding="utf-8")
+            changed[str(path)] = fixes
+    return changed

@@ -1,0 +1,786 @@
+"""simrace: static ownership & determinism races across process forks.
+
+The fifth checking tier.  simflow's interprocedural rules prove that
+task-reachable code *writes* no module-level state (FLOW005); simrace
+models the concurrency structure itself — where control forks
+(:class:`~repro.check.callgraph.SpawnSite`), where values cross the
+pickle boundary (:class:`~repro.check.callgraph.CommEdge`) — and
+proves an **ownership discipline** over it.  Every value in a parallel
+run sits somewhere in a three-point lattice:
+
+* **parent-owned** — lives in the submitting process; workers must
+  never see it;
+* **transferred-to-worker** — pickled into a task payload; the parent
+  must stop touching it the moment it is handed off;
+* **shared-read-only** — fork-inherited module state both sides may
+  read, *declared* as such in :data:`OWNERSHIP_FACTS` (the analogue of
+  the call-graph ``FACTS`` table: checked configuration, not code).
+
+Four rules enforce the discipline:
+
+* **RACE001** — a mutable value captured into a task payload
+  (``Process(args=...)``, ``executor.submit(f, x)``, TaskSpec
+  construction) is mutated by the parent *after* the hand-off.  Under
+  fork-on-submit the worker sees an arbitrary snapshot; under spawn
+  the parent's write is silently lost — either way ``-j1 != -jN``.
+* **RACE002** — an order-sensitive reduction runs over an unordered
+  completion stream (a set, ``as_completed``-style iteration,
+  directory scans) without a deterministic sort key.  The merged
+  artifact depends on hash order, i.e. on ``PYTHONHASHSEED``.
+* **RACE003** — a worker-reachable function reads fork-inherited
+  module state that is not declared shared-read-only in
+  :data:`OWNERSHIP_FACTS`.  This upgrades FLOW005 from a write-ban to
+  read-version consistency: an undeclared read is a dependency on
+  whatever the parent happened to have imported/mutated at fork time,
+  with a witness chain naming the worker path that reaches it.
+* **RACE004** — a nondeterministic or unpicklable value crosses a
+  communication edge: lambdas and generators (pickle errors at
+  runtime), open handles (silently rebound), ``id()`` addresses and
+  set-ordered iterables (differ across processes), including values
+  laundered through calls whose *summary* returns set-ordered data.
+
+Like the rest of ``repro.check`` this module is a runtime leaf: pure
+``ast`` + stdlib.  The decorators it recognizes (``@worker_entry``,
+``@owned_by_worker``) live in :mod:`repro.annotations` and are matched
+by name only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.check.callgraph import TASK_ENTRY_POINTS, ModuleFacts
+from repro.check.cfg import FunctionCFG
+from repro.check.flow_rules import _callee
+from repro.check.ip_rules import IpAnalysis, ProjectFinding, _chain_text
+from repro.check.summaries import (
+    _MUTATOR_METHODS,
+    _base_name,
+    _unordered_expr,
+    GlobalRead,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.engine import LintContext
+
+# ---------------------------------------------------------------------------
+# The ownership lattice
+# ---------------------------------------------------------------------------
+PARENT_OWNED = "parent-owned"
+TRANSFERRED = "transferred-to-worker"
+SHARED_READ_ONLY = "shared-read-only"
+
+#: Declared shared-read-only state: module -> module-level names whose
+#: fork-inherited snapshot workers may read.  Everything listed here is
+#: a registry filled at import time and only read afterwards — FLOW005
+#: independently bans task-reachable *writes* to all of them, which is
+#: what makes the read-only declaration sound.  An undeclared read from
+#: worker-reachable code is RACE003; growing this table is a reviewed
+#: ownership decision, not a suppression.
+OWNERSHIP_FACTS: dict[str, tuple[str, ...]] = {
+    # Attack registry: the class list populated at import of
+    # repro.attacks and read by spec resolution in workers.
+    "repro.attacks": ("ALL_ATTACKS",),
+    # Engine registry: the EngineSpec table driving create_engine(),
+    # plus the VUsion ablation variants it expands.
+    "repro.fusion.registry": ("ENGINE_SPECS", "_VUSION_ABLATIONS"),
+    # Experiment/scale registries read when a task re-resolves its
+    # spec, and the Table 1 attack roster the matrix driver iterates.
+    "repro.harness.experiments": ("EXPERIMENTS", "SCALES", "TABLE1_ATTACKS"),
+    # Scenario presets: named SystemConfig templates and the standard
+    # four-config comparison sweep.
+    "repro.harness.scenario": ("PRESETS", "STANDARD_CONFIGS"),
+    # Fleet presets: named fleet-shape templates.
+    "repro.harness.fleet": ("FLEET_PRESETS",),
+    # Distro page-content templates the workload generators sample.
+    "repro.workloads.vm_image": ("DISTRO_IMAGES",),
+}
+
+
+# ---------------------------------------------------------------------------
+# Rule registry (the "race" engine)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RaceRule:
+    """One ownership/determinism invariant over the concurrency model."""
+
+    id: str
+    severity: str
+    summary: str
+    rationale: str
+    #: "function" rules run per function body with the race analysis;
+    #: "project" rules run once over the whole worker-reachable set.
+    scope: str
+    applies_to: Callable[[str], bool] = field(default=lambda module: True)
+    #: function-scope checker: (ctx, cfg, func, caller_full, analysis).
+    checker: Callable[..., None] | None = None
+    #: project-scope checker: analysis -> findings.
+    project_checker: (
+        Callable[["RaceAnalysis"], list[ProjectFinding]] | None
+    ) = None
+
+    def applies(self, module: str) -> bool:
+        return self.applies_to(module)
+
+
+#: Registry of race rules, id -> rule.
+RACE_RULES: dict[str, RaceRule] = {}
+
+
+def register_race(rule: RaceRule) -> RaceRule:
+    if rule.id in RACE_RULES:
+        raise ValueError(f"duplicate race rule id {rule.id}")
+    RACE_RULES[rule.id] = rule
+    return rule
+
+
+def _race_applies(module: str) -> bool:
+    """Simulation code only: the analyzer's own registries are exempt
+    (same carve-out FLOW005 makes)."""
+    return module.startswith("repro.") and not module.startswith(
+        "repro.check"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Project-wide concurrency analysis
+# ---------------------------------------------------------------------------
+class RaceAnalysis:
+    """The concurrency model: spawn sites, comm edges, worker set.
+
+    Built on top of :class:`~repro.check.ip_rules.IpAnalysis` — the
+    call graph and summaries are shared, so a lint run pays for them
+    once.  ``worker_reachable`` is the transferred-to-worker region of
+    the ownership lattice: everything reachable (over *all* edge kinds,
+    conservative like FLOW005) from a task entry point, a resolved
+    spawn target, or an ``@worker_entry`` function.
+    """
+
+    def __init__(self, ip: IpAnalysis) -> None:
+        self.ip = ip
+        self.graph = ip.graph
+        self.spawns: list[tuple[ModuleFacts, object]] = []
+        self.comms: list[tuple[ModuleFacts, object]] = []
+        for module in sorted(self.graph.modules):
+            facts = self.graph.modules[module]
+            for spawn in facts.spawns:
+                self.spawns.append((facts, spawn))
+            for comm in facts.comms:
+                self.comms.append((facts, comm))
+        roots: set[str] = set()
+        for entry in TASK_ENTRY_POINTS:
+            if entry in self.graph.functions:
+                roots.add(entry)
+        for facts, spawn in self.spawns:
+            target = getattr(spawn, "target", None)
+            if target in (None, "<lambda>"):
+                continue
+            resolved = self._resolve_spawn_target(facts, target)
+            if resolved is not None:
+                roots.add(resolved)
+        for full, (func, _facts) in self.graph.functions.items():
+            if "worker_entry" in func.decorators:
+                roots.add(full)
+        self.worker_roots: tuple[str, ...] = tuple(sorted(roots))
+        #: worker function -> witness chain from its root.
+        self.worker_reachable: dict[str, tuple[str, ...]] = (
+            self.graph.reachable_from(self.worker_roots)
+        )
+
+    def _resolve_spawn_target(
+        self, facts: ModuleFacts, target: str
+    ) -> str | None:
+        """Resolve a spawn target's dotted text to a project function."""
+        parts = target.split(".")
+        if len(parts) == 1:
+            if parts[0] in facts.functions:
+                return f"{facts.module}.{parts[0]}"
+            imported = facts.imports.get(parts[0])
+            if imported is not None and imported in self.graph.functions:
+                return imported
+        elif parts[0] in ("self", "cls") and len(parts) == 2:
+            for qual in facts.functions:
+                if qual.endswith(f".{parts[1]}"):
+                    return f"{facts.module}.{qual}"
+        elif target in self.graph.functions:
+            return target
+        return None
+
+    def ownership_of(self, module: str, name: str) -> str:
+        """Where a module-level binding sits in the ownership lattice."""
+        if name in OWNERSHIP_FACTS.get(module, ()):
+            return SHARED_READ_ONLY
+        return PARENT_OWNED
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Every node of the function's own body, skipping nested
+    function/class/lambda bodies (each is its own analysis unit)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutations_of(node: ast.AST) -> list[tuple[str, str]]:
+    """(base name, description) for every in-place mutation in ``node``.
+
+    Rebinding a plain local name is *not* a mutation (the captured
+    object is unaffected); only subscript/attribute stores, augmented
+    stores into containers and mutator-method calls alias through.
+    """
+    out: list[tuple[str, str]] = []
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            base = _base_name(func.value)
+            if base is not None:
+                out.append((base, f".{func.attr}() call"))
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = _base_name(target)
+                if base is not None:
+                    kind = (
+                        "subscript" if isinstance(target, ast.Subscript)
+                        else "attribute"
+                    )
+                    out.append((base, f"{kind} store"))
+    elif isinstance(node, ast.AugAssign):
+        if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+            base = _base_name(node.target)
+            if base is not None:
+                out.append((base, "augmented store"))
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = _base_name(target)
+                if base is not None:
+                    out.append((base, "delete"))
+    return out
+
+
+def _function_sites(
+    analysis: RaceAnalysis, caller_full: str
+) -> tuple[ModuleFacts, str, list, list] | None:
+    """(module facts, in-module qual, spawns, comms) for one function."""
+    entry = analysis.graph.functions.get(caller_full)
+    if entry is None:
+        return None
+    _func, facts = entry
+    qual = caller_full[len(facts.module) + 1:]
+    spawns = [s for s in facts.spawns if s.caller == qual]
+    comms = [c for c in facts.comms if c.caller == qual]
+    return facts, qual, spawns, comms
+
+
+# ---------------------------------------------------------------------------
+# RACE001 — fork-boundary aliasing: parent writes a captured payload
+# ---------------------------------------------------------------------------
+def _check_race001(
+    ctx: "LintContext",
+    cfg: FunctionCFG,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    caller_full: str,
+    analysis: RaceAnalysis,
+) -> None:
+    sites = _function_sites(analysis, caller_full)
+    if sites is None:
+        return
+    _facts, _qual, spawns, comms = sites
+    #: captured name -> (earliest hand-off line, hand-off description)
+    captures: dict[str, tuple[int, str]] = {}
+
+    def capture(name: str, lineno: int, what: str) -> None:
+        if name not in captures or lineno < captures[name][0]:
+            captures[name] = (lineno, what)
+
+    for spawn in spawns:
+        if spawn.kind == "serial":
+            continue  # in-process call: completes before the parent resumes
+        what = (
+            "Process() spawn payload" if spawn.kind == "process"
+            else "executor submit payload"
+        )
+        for name in spawn.payload:
+            capture(name, spawn.lineno, what)
+    for comm in comms:
+        if comm.kind != "spec":
+            continue
+        for name in comm.payload:
+            capture(name, comm.lineno, "task spec payload")
+    if not captures:
+        return
+    for node in _own_nodes(func):
+        line = getattr(node, "lineno", 0)
+        for name, detail in _mutations_of(node):
+            if name not in captures:
+                continue
+            cap_line, what = captures[name]
+            if line <= cap_line:
+                continue
+            ctx.report(
+                "RACE001", node,
+                f"'{name}' was captured into a {what} at line {cap_line} "
+                f"and the parent mutates it afterwards ({detail}); a "
+                "captured value is transferred-to-worker — under fork the "
+                "worker snapshots an arbitrary version, under spawn the "
+                "parent's write is lost (fork-boundary aliasing)",
+            )
+
+
+register_race(RaceRule(
+    id="RACE001",
+    severity="error",
+    summary="task payloads are never mutated by the parent after hand-off",
+    rationale=(
+        "Capturing a dict into Process(args=...) or executor.submit() "
+        "moves it to the transferred-to-worker point of the ownership "
+        "lattice; a later parent-side .append()/subscript store races "
+        "the pickle. Whether the worker observes the write depends on "
+        "the start method and scheduling — exactly the -j1 != -jN "
+        "nondeterminism the sharding contract forbids. The fix is to "
+        "finish building the payload before the hand-off (or copy)."
+    ),
+    scope="function",
+    applies_to=_race_applies,
+    checker=_check_race001,
+))
+
+
+# ---------------------------------------------------------------------------
+# RACE002 — order-sensitive reduction over unordered completion
+# ---------------------------------------------------------------------------
+#: Calls whose result iterates in completion/filesystem order — no
+#: deterministic relation to submission order.
+_UNORDERED_PRODUCERS = frozenset({
+    "as_completed", "wait", "iterdir", "glob", "rglob", "scandir",
+    "listdir",
+})
+
+
+def _is_unordered_source(
+    expr: ast.expr, unordered_names: set[str]
+) -> bool:
+    if _unordered_expr(expr):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in unordered_names
+    if isinstance(expr, ast.Call):
+        callee = _callee(expr)
+        if callee in _UNORDERED_PRODUCERS:
+            return True
+        if callee == "sorted":
+            return False
+        if callee in ("list", "tuple", "iter", "reversed") and expr.args:
+            return _is_unordered_source(expr.args[0], unordered_names)
+    return False
+
+
+def _merges(body: list[ast.stmt]) -> bool:
+    """Does a loop body fold its element into an accumulator?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                ):
+                    return True
+            elif isinstance(node, ast.Assign):
+                if any(
+                    isinstance(t, (ast.Subscript, ast.Attribute))
+                    for t in node.targets
+                ):
+                    return True
+            elif isinstance(node, (ast.AugAssign, ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+def _check_race002(
+    ctx: "LintContext",
+    cfg: FunctionCFG,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    caller_full: str,
+    analysis: RaceAnalysis,
+) -> None:
+    unordered_names: set[str] = set()
+    assigns: list[tuple[int, ast.Assign | ast.AnnAssign]] = []
+    for node in _own_nodes(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            assigns.append((getattr(node, "lineno", 0), node))
+    for _line, node in sorted(assigns, key=lambda pair: pair[0]):
+        value = node.value
+        if value is None or not _is_unordered_source(value, unordered_names):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                unordered_names.add(target.id)
+        # Materializing the unordered stream into an ordered sequence
+        # freezes an arbitrary order — flag it at the conversion point.
+        if isinstance(value, ast.Call) and _callee(value) in (
+            "list", "tuple"
+        ):
+            ctx.report(
+                "RACE002", node,
+                "an unordered completion/set stream is materialized into "
+                "an ordered sequence without a deterministic sort key; "
+                "the frozen order depends on hash seed / completion "
+                "timing — sort by a stable key (e.g. (shard, pfn)) first",
+            )
+
+    for node in _own_nodes(func):
+        if isinstance(node, ast.For):
+            if _is_unordered_source(node.iter, unordered_names) and _merges(
+                node.body
+            ):
+                ctx.report(
+                    "RACE002", node,
+                    "order-sensitive reduction iterates an unordered "
+                    "completion/set stream; the accumulated result "
+                    "depends on hash order — iterate "
+                    "sorted(...) with a deterministic key instead",
+                )
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_unordered_source(gen.iter, unordered_names):
+                    ctx.report(
+                        "RACE002", node,
+                        "comprehension over an unordered set/completion "
+                        "stream builds an order-sensitive result; wrap "
+                        "the iterable in sorted(...) with a stable key",
+                    )
+                    break
+
+
+register_race(RaceRule(
+    id="RACE002",
+    severity="error",
+    summary="result merges iterate completion streams in deterministic order",
+    rationale=(
+        "A merge loop over as_completed()-style iteration, a set of "
+        "finished shards, or a directory scan produces artifacts whose "
+        "byte order tracks completion timing and PYTHONHASHSEED. "
+        "Submission-indexed collection (what runner.pool does) or an "
+        "explicit sorted(...) key makes -jN output byte-identical to "
+        "-j1; set-typed *results* (SetComp) stay exempt because their "
+        "equality is order-free."
+    ),
+    scope="function",
+    applies_to=_race_applies,
+    checker=_check_race002,
+))
+
+
+# ---------------------------------------------------------------------------
+# RACE003 — undeclared worker reads of fork-inherited module state
+# ---------------------------------------------------------------------------
+def _resolve_read(
+    analysis: RaceAnalysis, facts: ModuleFacts, read: GlobalRead
+) -> tuple[str, str] | None:
+    """Resolve a recorded read to ``(owning module, binding name)``.
+
+    Only reads that land on a *mutable* module-level binding somewhere
+    in the project are ownership-relevant; reads of imported functions,
+    classes or frozen constants resolve to ``None``.
+    """
+    if read.attr is None:
+        if read.name in facts.mutable_module_names:
+            return facts.module, read.name
+        imported = facts.imports.get(read.name)
+        if imported is not None and "." in imported:
+            owner, _, name = imported.rpartition(".")
+            owner_facts = analysis.graph.modules.get(owner)
+            if (
+                owner_facts is not None
+                and name in owner_facts.mutable_module_names
+            ):
+                return owner, name
+        return None
+    imported = facts.imports.get(read.name)
+    if imported is not None:
+        owner_facts = analysis.graph.modules.get(imported)
+        if (
+            owner_facts is not None
+            and read.attr in owner_facts.mutable_module_names
+        ):
+            return imported, read.attr
+    return None
+
+
+def race003_findings(analysis: RaceAnalysis) -> list[ProjectFinding]:
+    """Worker reads of module state with no shared-read-only contract."""
+    findings: list[ProjectFinding] = []
+    seen: set[tuple[str, int, int, str]] = set()
+    for full, chain in sorted(analysis.worker_reachable.items()):
+        if full.startswith("repro.check."):
+            continue
+        entry = analysis.graph.functions.get(full)
+        local = analysis.ip.local_summaries.get(full)
+        if entry is None or local is None:
+            continue
+        func_facts, mod_facts = entry
+        if "owned_by_worker" in func_facts.decorators:
+            continue
+        for read in local.global_reads:
+            resolved = _resolve_read(analysis, mod_facts, read)
+            if resolved is None:
+                continue
+            owner, name = resolved
+            if analysis.ownership_of(owner, name) == SHARED_READ_ONLY:
+                continue
+            key = (mod_facts.module, read.lineno, read.col, f"{owner}.{name}")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(ProjectFinding(
+                rule_id="RACE003",
+                module=mod_facts.module,
+                lineno=read.lineno,
+                col=read.col,
+                message=(
+                    f"worker-reachable function "
+                    f"{full.rsplit('.', 1)[-1]}() reads fork-inherited "
+                    f"module state '{owner}.{name}' that is not declared "
+                    "shared-read-only in OWNERSHIP_FACTS; the worker "
+                    "sees whatever snapshot existed at fork time — "
+                    "declare the registry or pass the value through the "
+                    f"task payload [{_chain_text(chain)}]"
+                ),
+            ))
+    return findings
+
+
+register_race(RaceRule(
+    id="RACE003",
+    severity="error",
+    summary="worker reads of fork-inherited state are declared shared-read-only",
+    rationale=(
+        "FLOW005 bans task-reachable *writes* to module state; reads "
+        "are still version-sensitive — a worker reading an undeclared "
+        "registry depends on whatever the parent had imported or "
+        "monkey-patched at fork time, which differs between -j1 "
+        "(current state) and -jN (fork snapshot). OWNERSHIP_FACTS is "
+        "the read-side contract: declared registries are import-time "
+        "constants both sides may consume; everything else must travel "
+        "in the task payload. Witness chains name the worker path."
+    ),
+    scope="project",
+    project_checker=race003_findings,
+))
+
+
+# ---------------------------------------------------------------------------
+# RACE004 — nondeterministic/unpicklable values on communication edges
+# ---------------------------------------------------------------------------
+def _hazard_bindings(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Local names bound to values that must not cross the boundary."""
+    hazards: dict[str, str] = {}
+    for node in _own_nodes(func):
+        value: ast.expr | None = None
+        targets: list[ast.Name] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                value = node.value
+                targets = [node.target]
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and _callee(item.context_expr) == "open"
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    hazards[item.optional_vars.id] = (
+                        "an open file handle (unpicklable / rebound)"
+                    )
+            continue
+        if value is None or not targets:
+            continue
+        kind: str | None = None
+        if isinstance(value, ast.Lambda):
+            kind = "a lambda (unpicklable)"
+        elif isinstance(value, ast.Call) and _callee(value) == "open":
+            kind = "an open file handle (unpicklable / rebound)"
+        elif _unordered_expr(value):
+            kind = "a set-ordered value (hash-order iteration)"
+        for target in targets:
+            if kind is not None:
+                hazards[target.id] = kind
+            else:
+                hazards.pop(target.id, None)
+    return hazards
+
+
+def _payload_subnodes(expr: ast.expr):
+    """Walk a payload expression, not descending through ``sorted(...)``
+    (which launders order) or into lambda bodies (reported whole)."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.Call) and _callee(node) == "sorted":
+            continue
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _payload_hazard(
+    expr: ast.expr,
+    hazards: dict[str, str],
+    analysis: RaceAnalysis,
+    caller_full: str,
+) -> tuple[str, tuple[str, ...] | None] | None:
+    """(description, witness chain or None) if the payload is hazardous."""
+    for sub in _payload_subnodes(expr):
+        if isinstance(sub, ast.Lambda):
+            return "a lambda (unpicklable)", None
+        if isinstance(sub, ast.GeneratorExp):
+            return "a generator (unpicklable)", None
+        if isinstance(sub, (ast.Set, ast.SetComp)):
+            return "a set-ordered value (hash-order iteration)", None
+        if isinstance(sub, ast.Name) and sub.id in hazards:
+            return hazards[sub.id], None
+        if isinstance(sub, ast.Call):
+            callee = _callee(sub)
+            if callee in ("set", "frozenset"):
+                return "a set-ordered value (hash-order iteration)", None
+            if callee == "id":
+                return (
+                    "an id() address (differs across processes)", None
+                )
+            for target in analysis.graph.resolve_call(
+                caller_full, sub.lineno, sub.col_offset
+            ):
+                summary = analysis.ip.summaries.get(target)
+                if summary is not None and summary.returns_unordered:
+                    return (
+                        "a set-ordered value (hash-order iteration)",
+                        (caller_full, *summary.unordered_chain),
+                    )
+    return None
+
+
+def _comm_payload_exprs(
+    node: ast.Call, kind: str, comm_kind: str | None
+) -> list[ast.expr]:
+    """The expressions that actually cross at one site."""
+    if kind == "spawn-process":
+        exprs: list[ast.expr] = []
+        for keyword in node.keywords:
+            if keyword.arg in ("args", "kwargs"):
+                value = keyword.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    exprs.extend(value.elts)
+                else:
+                    exprs.append(value)
+            elif keyword.arg == "target" and isinstance(
+                keyword.value, ast.Lambda
+            ):
+                exprs.append(keyword.value)
+        return exprs
+    if kind == "spawn-submit":
+        return [
+            *node.args[1:], *(kw.value for kw in node.keywords),
+        ]
+    if comm_kind == "spec":
+        return [*node.args, *(kw.value for kw in node.keywords)]
+    return list(node.args)  # "send" and "callback": positional payload
+
+
+def _check_race004(
+    ctx: "LintContext",
+    cfg: FunctionCFG,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    caller_full: str,
+    analysis: RaceAnalysis,
+) -> None:
+    sites = _function_sites(analysis, caller_full)
+    if sites is None:
+        return
+    _facts, _qual, spawns, comms = sites
+    #: (line, col) -> (site kind, comm kind, human label)
+    locations: dict[tuple[int, int], tuple[str, str | None, str]] = {}
+    for spawn in spawns:
+        if spawn.kind == "serial":
+            continue  # in-process: nothing is pickled
+        kind = (
+            "spawn-process" if spawn.kind == "process" else "spawn-submit"
+        )
+        locations[(spawn.lineno, spawn.col)] = (
+            kind, None, f"{spawn.kind} spawn",
+        )
+    for comm in comms:
+        labels = {
+            "send": "pipe/queue send",
+            "spec": "task spec construction",
+            "callback": "result callback",
+        }
+        locations.setdefault(
+            (comm.lineno, comm.col),
+            ("comm", comm.kind, labels.get(comm.kind, comm.kind)),
+        )
+    if not locations:
+        return
+    hazards = _hazard_bindings(func)
+    for node in _own_nodes(func):
+        if not isinstance(node, ast.Call):
+            continue
+        site = locations.get((node.lineno, node.col_offset))
+        if site is None:
+            continue
+        kind, comm_kind, label = site
+        for expr in _comm_payload_exprs(node, kind, comm_kind):
+            hazard = _payload_hazard(expr, hazards, analysis, caller_full)
+            if hazard is None:
+                continue
+            description, chain = hazard
+            suffix = f" [{_chain_text(chain)}]" if chain else ""
+            ctx.report(
+                "RACE004", node,
+                f"{description} crosses a {label} communication edge; "
+                "values crossing the pickle boundary must be "
+                "deterministic, picklable and address-free so worker "
+                f"and parent agree byte-for-byte{suffix}",
+            )
+            break  # one finding per site is enough signal
+
+
+register_race(RaceRule(
+    id="RACE004",
+    severity="error",
+    summary="only deterministic, picklable values cross communication edges",
+    rationale=(
+        "The pickle boundary is where DET taint meets concurrency: a "
+        "set crossing in a TaskSpec field iterates differently in the "
+        "worker (fresh interpreter, new hash seed), an open handle or "
+        "lambda fails to pickle only under -jN, and an id() travels as "
+        "a meaningless foreign address. Summaries propagate "
+        "'returns set-ordered' through call chains, so a frozen-via-"
+        "set() helper is caught at the construction site with a "
+        "witness chain."
+    ),
+    scope="function",
+    applies_to=_race_applies,
+    checker=_check_race004,
+))

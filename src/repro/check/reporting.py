@@ -1,10 +1,10 @@
-"""Reporters for simlint/simflow findings: human-readable and JSON."""
+"""Reporters for lint findings: human-readable, JSON and SARIF."""
 
 from __future__ import annotations
 
 import json
 
-from repro.check.engine import LintResult, engine_of, rule_catalog
+from repro.check.engine import Finding, LintResult, engine_of, rule_catalog
 
 #: Schema version of the JSON report (bump on breaking changes).
 #:
@@ -17,7 +17,12 @@ from repro.check.engine import LintResult, engine_of, rule_catalog
 #:   FLOW006 in the catalog with witness chains in messages; the
 #:   ``engine`` and ``qualname`` fields are preserved on
 #:   baseline-filtered findings too.
-JSON_SCHEMA_VERSION = 3
+#: * 4 — race tier (simrace): a third ``"race"`` bucket in the
+#:   ``engines`` index; RACE001-RACE004 in the catalog with ownership
+#:   witness chains in messages; findings are globally ordered by
+#:   ``(path, line, rule, qualname)`` so cold and warm-cache runs are
+#:   byte-identical.
+JSON_SCHEMA_VERSION = 4
 
 
 def render_findings(result: LintResult, verbose: bool = False) -> str:
@@ -60,7 +65,7 @@ def findings_to_json(result: LintResult) -> str:
     counts: dict[str, int] = {}
     for finding in result.findings:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
-    engines: dict[str, list[str]] = {"ast": [], "flow": []}
+    engines: dict[str, list[str]] = {"ast": [], "flow": [], "race": []}
     for rule_id in catalog:
         engines[engine_of(rule_id)].append(rule_id)
     document = {
@@ -84,5 +89,76 @@ def findings_to_json(result: LintResult) -> str:
             }
             for rule_id, rule in catalog.items()
         },
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0 — GitHub code-scanning ingestion
+# ---------------------------------------------------------------------------
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: simlint severities -> SARIF levels.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _sarif_result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def findings_to_sarif(result: LintResult) -> str:
+    """One SARIF 2.1.0 run per lint invocation (sorted keys, stable).
+
+    Minimal but complete for GitHub code scanning: the driver carries
+    the full rule catalog (id, short/full descriptions, default level,
+    the owning engine as a property), each finding becomes one result
+    with a physical location.  Baselined findings are *omitted* — the
+    baseline already accepted them, so they must not re-annotate PRs.
+    """
+    catalog = rule_catalog()
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": "https://www.vusec.net/projects/VUsion",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {"text": rule.summary},
+                            "fullDescription": {"text": rule.rationale},
+                            "defaultConfiguration": {
+                                "level": _SARIF_LEVELS.get(
+                                    rule.severity, "warning"
+                                ),
+                            },
+                            "properties": {"engine": engine_of(rule_id)},
+                        }
+                        for rule_id, rule in sorted(catalog.items())
+                    ],
+                },
+            },
+            "results": [
+                _sarif_result(finding) for finding in result.findings
+            ],
+        }],
     }
     return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -32,7 +32,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
-from repro.check.callgraph import CallGraph, CallSite, ModuleFacts
+from repro.check.callgraph import (
+    _CONTAINER_READ_METHODS,
+    CallGraph,
+    CallSite,
+    ModuleFacts,
+)
 from repro.check.cfg import build_cfg
 from repro.check.flow_rules import (
     _FRAME_CONSUMERS,
@@ -71,6 +76,36 @@ _MUTATOR_METHODS = frozenset({
     "setdefault", "extend", "insert", "remove", "discard", "clear",
     "sort", "reverse", "push",
 })
+
+
+@dataclass(frozen=True)
+class GlobalRead:
+    """One container-style read of module-level / imported shared state.
+
+    Only *registry-shaped* uses are recorded (subscript, ``.get``/
+    ``.items``/``.keys``/``.values``, ``in`` tests, iteration) of names
+    that are either the module's own mutable module-level bindings or
+    ``repro.*`` imports — RACE003's raw material.  ``attr`` carries the
+    first attribute component for ``module.NAME``-style reads.
+    """
+
+    name: str           #: the base name being read
+    attr: str | None    #: first attribute component, for module reads
+    lineno: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name, "attr": self.attr,
+            "line": self.lineno, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GlobalRead":
+        return cls(
+            name=data["name"], attr=data["attr"],
+            lineno=data["line"], col=data["col"],
+        )
 
 
 @dataclass(frozen=True)
@@ -118,6 +153,10 @@ class LocalSummary:
     sink_params_direct: tuple[str, ...] = ()
     charges_direct: bool = False
     global_writes: tuple[GlobalWrite, ...] = ()
+    global_reads: tuple[GlobalRead, ...] = ()
+    #: Some return hands back a set-derived value whose iteration order
+    #: is nondeterministic (``set(...)``, ``tuple(set(...))``, ...).
+    returns_unordered_direct: bool = False
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -132,6 +171,8 @@ class LocalSummary:
             "sinks": list(self.sink_params_direct),
             "charges": self.charges_direct,
             "writes": [w.to_dict() for w in self.global_writes],
+            "reads": [r.to_dict() for r in self.global_reads],
+            "unordered": self.returns_unordered_direct,
         }
 
     @classmethod
@@ -153,6 +194,10 @@ class LocalSummary:
             global_writes=tuple(
                 GlobalWrite.from_dict(w) for w in data["writes"]
             ),
+            global_reads=tuple(
+                GlobalRead.from_dict(r) for r in data["reads"]
+            ),
+            returns_unordered_direct=data["unordered"],
         )
 
 
@@ -345,6 +390,144 @@ def _global_writes(
     return tuple(writes)
 
 
+def _global_reads(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    facts: ModuleFacts,
+) -> tuple[GlobalRead, ...]:
+    """Container-style reads of module-level / imported shared state.
+
+    The mirror of :func:`_global_writes`: where that records mutations
+    (FLOW005's raw material), this records *reads* of the same shared
+    names — subscripts, ``.get``/``.items``-style lookups, ``in`` tests
+    and iteration.  RACE003 resolves them against the owning module's
+    mutable bindings to find fork-inherited state a worker consumes
+    without a declared ownership contract.
+    """
+    candidates = set(facts.mutable_module_names)
+    import_targets: dict[str, str] = {}
+    for local, target in facts.imports.items():
+        if target == "repro" or target.startswith("repro."):
+            candidates.add(local)
+            import_targets[local] = target
+    shadowed = _local_bound_names(func) | set(
+        a.arg for a in (
+            *func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs
+        )
+    )
+    reads: list[GlobalRead] = []
+    seen: set[tuple[str, str | None, int, int]] = set()
+
+    def record(base: ast.AST, node: ast.AST) -> None:
+        attr: str | None = None
+        if isinstance(base, ast.Attribute) and isinstance(
+            base.value, ast.Name
+        ):
+            attr = base.attr
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        name = base.id
+        if name in ("self", "cls"):
+            return
+        if name not in candidates or name in shadowed:
+            return
+        key = (
+            name, attr,
+            getattr(node, "lineno", func.lineno),
+            getattr(node, "col_offset", 0),
+        )
+        if key in seen:
+            return
+        seen.add(key)
+        reads.append(GlobalRead(
+            name=name, attr=attr, lineno=key[2], col=key[3],
+        ))
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Load
+        ):
+            record(node.value, node)
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in _CONTAINER_READ_METHODS
+            ):
+                record(func_expr.value, node)
+        elif isinstance(node, ast.Compare):
+            if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+                for comparator in node.comparators:
+                    record(comparator, node)
+        elif isinstance(node, ast.For):
+            record(node.iter, node)
+        elif isinstance(node, ast.comprehension):
+            record(node.iter, node.iter)
+    return tuple(reads)
+
+
+def _unordered_expr(expr: ast.expr) -> bool:
+    """Does the expression evaluate to a set-ordered iterable?
+
+    Conservative: only shapes whose iteration order is *provably* tied
+    to hash order — set displays/comprehensions, ``set(...)``/
+    ``frozenset(...)`` calls, and ``list``/``tuple`` wrappers around
+    them.  ``sorted(...)`` launders the order by construction.
+    """
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("set", "frozenset"):
+            return True
+        if expr.func.id == "sorted":
+            return False
+        if expr.func.id in ("list", "tuple") and expr.args:
+            return _unordered_expr(expr.args[0])
+    return False
+
+
+def _returns_unordered(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Does some return/yield hand back a set-ordered value?
+
+    A one-level name chase covers the common ``frozen = tuple(set(x));
+    return frozen`` shape without a full dataflow pass.
+    """
+    unordered_names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _unordered_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    unordered_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _unordered_expr(node.value) and isinstance(
+                node.target, ast.Name
+            ):
+                unordered_names.add(node.target.id)
+
+    def carries(value: ast.expr) -> bool:
+        if _unordered_expr(value):
+            return True
+        if isinstance(value, ast.Name):
+            return value.id in unordered_names
+        if isinstance(value, ast.Call) and isinstance(
+            value.func, ast.Name
+        ):
+            if value.func.id in ("list", "tuple") and value.args:
+                return carries(value.args[0])
+        return False
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if carries(node.value):
+                return True
+        elif isinstance(node, ast.Yield) and node.value is not None:
+            if carries(node.value):
+                return True
+    return False
+
+
 def summarize_function(
     func: ast.FunctionDef | ast.AsyncFunctionDef,
     qualname: str,
@@ -395,6 +578,8 @@ def summarize_function(
         sink_params_direct=tuple(sorted(sinks)),
         charges_direct=charges,
         global_writes=_global_writes(func, facts),
+        global_reads=_global_reads(func, facts),
+        returns_unordered_direct=_returns_unordered(func),
     )
 
 
@@ -421,6 +606,10 @@ class TransitiveSummary:
     consumed_params: dict[str, tuple[str, ...]] = field(default_factory=dict)
     sink_params: dict[str, tuple[str, ...]] = field(default_factory=dict)
     global_writes: tuple[GlobalWrite, ...] = ()
+    #: May the return value iterate in set/hash order?  Propagated
+    #: through returned calls exactly like taint (RACE004's material).
+    returns_unordered: bool = False
+    unordered_chain: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         """Canonical serialization (the cache's dependency digests)."""
@@ -441,6 +630,8 @@ class TransitiveSummary:
                 p: list(c) for p, c in sorted(self.sink_params.items())
             },
             "global_writes": [w.to_dict() for w in self.global_writes],
+            "returns_unordered": self.returns_unordered,
+            "unordered_chain": list(self.unordered_chain),
         }
 
 
@@ -532,6 +723,10 @@ def summarize_project(
             },
             sink_params={p: (full,) for p in local.sink_params_direct},
             global_writes=local.global_writes,
+            returns_unordered=local.returns_unordered_direct,
+            unordered_chain=(
+                (full,) if local.returns_unordered_direct else ()
+            ),
         )
         # A trusted annotation counts as an escape contract for callers
         # (FLOW006 separately checks it is not *contradicted*).
@@ -566,6 +761,15 @@ def summarize_project(
                 if target_summary.returns_taint and not summary.returns_taint:
                     summary.returns_taint = True
                     summary.taint_chain = (full, *target_summary.taint_chain)
+                    changed = True
+                if (
+                    target_summary.returns_unordered
+                    and not summary.returns_unordered
+                ):
+                    summary.returns_unordered = True
+                    summary.unordered_chain = (
+                        full, *target_summary.unordered_chain
+                    )
                     changed = True
         # Charge-effect through any precise callee.
         if not summary.charges:

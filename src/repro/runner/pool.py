@@ -34,6 +34,7 @@ from repro.runner.progress import (
     TaskRetrying,
     TaskStarted,
 )
+from repro.annotations import worker_entry
 from repro.runner.seeds import derive_seed
 from repro.runner.task import TaskSpec, execute_task
 
@@ -83,6 +84,7 @@ class TaskResult:
         return self.payload.get("checks_pass")
 
 
+@worker_entry
 def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int) -> None:
     """Child entry point: run the task, ship the payload back, exit."""
     try:

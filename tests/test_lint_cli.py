@@ -1,0 +1,228 @@
+"""End-to-end tests for the ``repro lint`` CLI and the reporters.
+
+Pins the exit-code matrix (clean / findings / --strict promotion /
+--check-annotations contradiction), the degenerate inputs (empty tree,
+undecodable file), the three output formats — including a SARIF 2.1.0
+golden file — and the ``--fix`` flow through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import textwrap
+
+from repro.check import lint_project
+from repro.check.cli import main
+from repro.check.engine import LintResult
+from repro.check.reporting import findings_to_sarif
+
+SARIF_GOLDEN = (
+    pathlib.Path(__file__).parent / "data" / "simlint_sarif.golden.json"
+)
+
+CLEAN_SOURCE = "VALUE = 1\n"
+
+DIRTY_SOURCE = textwrap.dedent("""\
+    def derive(name):
+        return hash(name)
+""")
+
+CONTRADICTED_SOURCE = textwrap.dedent("""\
+    from repro.annotations import escapes_frame
+
+    @escapes_frame
+    def noop():
+        pass
+""")
+
+
+def write_tree(root: pathlib.Path, files: dict[str, str]) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Exit-code matrix
+# ----------------------------------------------------------------------
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": CLEAN_SOURCE})
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        assert main([str(tmp_path)]) == 1
+        assert "DET004" in capsys.readouterr().out
+
+    def test_baseline_accepts_findings(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(tmp_path), "--write-baseline", str(baseline)]
+        ) == 0
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_strict_promotes_baselined_findings(self, tmp_path):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        baseline = tmp_path / "baseline.json"
+        main([str(tmp_path), "--write-baseline", str(baseline)])
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline), "--strict"]
+        ) == 1
+
+    def test_missing_baseline_warns_but_runs(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": CLEAN_SOURCE})
+        missing = tmp_path / "nope.json"
+        assert main([str(tmp_path), "--baseline", str(missing)]) == 0
+        assert "not found" in capsys.readouterr().out
+
+    def test_check_annotations_contradiction_exits_one(
+        self, tmp_path, capsys
+    ):
+        write_tree(tmp_path, {"pkg/mod.py": CONTRADICTED_SOURCE})
+        assert main([str(tmp_path), "--check-annotations"]) == 1
+        assert "contradicted" in capsys.readouterr().out
+
+    def test_check_annotations_without_annotations_exits_zero(
+        self, tmp_path, capsys
+    ):
+        write_tree(tmp_path, {"pkg/mod.py": CLEAN_SOURCE})
+        assert main([str(tmp_path), "--check-annotations"]) == 0
+        assert "no checked annotations" in capsys.readouterr().out
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET004", "FLOW001", "FLOW005", "RACE001"):
+            assert rule_id in out
+        assert "race" in out  # the engine tag is printed
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs
+# ----------------------------------------------------------------------
+class TestDegenerateInputs:
+    def test_empty_tree_is_clean(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main([str(tmp_path / "empty")]) == 0
+        assert "clean: 0 file(s)" in capsys.readouterr().out
+
+    def test_undecodable_file_is_an_error_not_a_crash(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_bytes(b"\xff\xfe not utf-8 \xba\xad")
+        write_tree(tmp_path, {"good.py": CLEAN_SOURCE})
+        assert main([str(tmp_path)]) == 1
+        assert "cannot lint" in capsys.readouterr().out
+
+    def test_syntax_error_is_an_error_not_a_crash(self, tmp_path, capsys):
+        write_tree(tmp_path, {"broken.py": "def oops(:\n"})
+        assert main([str(tmp_path)]) == 1
+        assert "cannot lint" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestFormats:
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        main([str(tmp_path), "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is False
+        assert document["counts"] == {"DET004": 1}
+
+    def test_sarif_format_is_parseable(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        main([str(tmp_path), "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET004"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+
+    def test_sarif_rules_carry_engine_property(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": CLEAN_SOURCE})
+        main([str(tmp_path), "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {rule["id"]: rule for rule in rules}
+        assert by_id["RACE001"]["properties"]["engine"] == "race"
+        assert by_id["FLOW001"]["properties"]["engine"] == "flow"
+        assert by_id["DET004"]["properties"]["engine"] == "ast"
+        # rules are sorted for byte-stable output
+        assert [rule["id"] for rule in rules] == sorted(by_id)
+
+    def test_sarif_omits_baselined_findings(self):
+        result = lint_project({"src/repro/core/x.py": DIRTY_SOURCE})
+        result.baselined = result.findings
+        result.findings = []
+        document = json.loads(findings_to_sarif(result))
+        assert document["runs"][0]["results"] == []
+
+
+class TestSarifGolden:
+    def make_result(self) -> LintResult:
+        findings = lint_project({
+            "src/repro/runner/fixture.py": textwrap.dedent("""\
+                import time
+
+                def execute_task(spec, seed):
+                    bad_seed = hash(spec.name)
+                    return {"seed": bad_seed, "wall": time.time()}
+            """),
+        }).findings
+        return LintResult(findings=findings, files_scanned=1)
+
+    def test_golden_document(self):
+        document = findings_to_sarif(self.make_result())
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+            SARIF_GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            SARIF_GOLDEN.write_text(document, encoding="utf-8")
+        assert SARIF_GOLDEN.exists(), (
+            "golden file missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        assert document == SARIF_GOLDEN.read_text(encoding="utf-8"), (
+            "SARIF report changed: if intentional, regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+
+
+# ----------------------------------------------------------------------
+# --fix through the CLI
+# ----------------------------------------------------------------------
+class TestFixFlag:
+    def test_fix_rewrites_then_lints_clean(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        assert main([str(tmp_path), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "--fix rewrote 1 file(s)" in out
+        fixed = (tmp_path / "pkg" / "mod.py").read_text(encoding="utf-8")
+        assert "zlib.crc32" in fixed
+        assert "import zlib" in fixed
+
+    def test_fix_is_idempotent_through_the_cli(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        main([str(tmp_path), "--fix"])
+        after_first = (tmp_path / "pkg" / "mod.py").read_text()
+        capsys.readouterr()
+        assert main([str(tmp_path), "--fix"]) == 0
+        assert "rewrote" not in capsys.readouterr().out
+        assert (tmp_path / "pkg" / "mod.py").read_text() == after_first
+
+    def test_fix_respects_rule_selection(self, tmp_path):
+        write_tree(tmp_path, {"pkg/mod.py": DIRTY_SOURCE})
+        # Selecting a non-fixable rule: --fix has nothing to do and the
+        # file is untouched.
+        main([str(tmp_path), "--fix", "--rule", "DET001"])
+        assert (tmp_path / "pkg" / "mod.py").read_text() == DIRTY_SOURCE

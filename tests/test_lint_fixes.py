@@ -1,0 +1,176 @@
+"""Round-trip tests for ``repro lint --fix`` (DET004 / API001).
+
+The fixer's contract: every rewrite silences the finding it targets
+(round-trip through the linter), a second run is a byte-for-byte no-op
+(idempotence), suppressed lines are never touched, and rules without a
+mechanical equivalent (``ATTACK_ENV_DEFAULTS``) are left alone.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import FIXABLE_RULES, fix_paths, fix_source, lint_source
+
+
+def fix(source: str, rules: tuple[str, ...] = FIXABLE_RULES):
+    return fix_source(textwrap.dedent(source), rules)
+
+
+def det004_findings(source: str):
+    return [
+        finding
+        for finding in lint_source(
+            source, path="src/repro/core/x.py", module="repro.core.x"
+        )
+        if finding.rule_id in FIXABLE_RULES
+    ]
+
+
+class TestDet004Fix:
+    def test_hash_call_becomes_crc32(self):
+        fixed, fixes = fix("""\
+            def derive(name):
+                return hash(name)
+        """)
+        assert [f.rule_id for f in fixes] == ["DET004"]
+        assert "zlib.crc32(repr(name).encode())" in fixed
+        assert "import zlib" in fixed
+
+    def test_round_trip_silences_the_finding(self):
+        source = "def derive(name):\n    return hash(name)\n"
+        assert det004_findings(source)
+        fixed, _ = fix_source(source)
+        assert det004_findings(fixed) == []
+
+    def test_nested_hash_calls_reach_fixpoint(self):
+        fixed, fixes = fix("""\
+            def derive(a, b):
+                return hash((hash(a), b))
+        """)
+        assert len(fixes) == 2
+        assert "hash(" not in fixed
+        assert det004_findings(fixed) == []
+
+    def test_zlib_import_inserted_once_after_import_block(self):
+        fixed, _ = fix("""\
+            \"\"\"Docstring.\"\"\"
+            import os
+            import sys
+
+            def derive(a, b):
+                return hash(a) + hash(b)
+        """)
+        lines = fixed.splitlines()
+        assert lines[:4] == [
+            '"""Docstring."""', "import os", "import sys", "import zlib",
+        ]
+        assert fixed.count("import zlib") == 1
+
+    def test_existing_zlib_import_not_duplicated(self):
+        fixed, _ = fix("""\
+            import zlib
+
+            def derive(name):
+                return hash(name)
+        """)
+        assert fixed.count("import zlib") == 1
+
+    def test_hash_with_kwargs_or_arity_is_not_touched(self):
+        source = textwrap.dedent("""\
+            def derive(obj):
+                return obj.hash(1)
+        """)
+        fixed, fixes = fix_source(source)
+        assert fixes == []
+        assert fixed == source
+
+
+class TestApi001Fix:
+    def test_use_site_rewritten(self):
+        fixed, fixes = fix("""\
+            def lookup(name):
+                return EXPERIMENT_REGISTRY[name]
+        """)
+        assert [f.rule_id for f in fixes] == ["API001"]
+        assert "EXPERIMENTS[name]" in fixed
+        assert "EXPERIMENT_REGISTRY" not in fixed
+
+    def test_import_alias_rewritten_to_import_form(self):
+        fixed, _ = fix("""\
+            from repro.harness.experiments import EXPERIMENT_REGISTRY
+
+            def names():
+                return list(EXPERIMENT_REGISTRY)
+        """)
+        assert (
+            "from repro.harness.experiments import EXPERIMENTS" in fixed
+        )
+        assert "list(EXPERIMENTS)" in fixed
+
+    def test_engine_factories_use_site_gets_call_form(self):
+        fixed, _ = fix("""\
+            def engines():
+                return dict(ENGINE_FACTORIES)
+        """)
+        assert "dict(attack_engine_factories())" in fixed
+
+    def test_attack_env_defaults_is_left_for_a_human(self):
+        source = textwrap.dedent("""\
+            def defaults():
+                return dict(ATTACK_ENV_DEFAULTS)
+        """)
+        fixed, fixes = fix_source(source)
+        assert fixes == []
+        assert fixed == source
+
+
+class TestFixerContracts:
+    def test_idempotent(self):
+        source = textwrap.dedent("""\
+            def derive(name):
+                return hash(name) + EXPERIMENT_REGISTRY["x"].seed
+        """)
+        once, first = fix_source(source)
+        assert first
+        twice, second = fix_source(once)
+        assert second == []
+        assert twice == once
+
+    def test_suppressed_lines_are_never_rewritten(self):
+        source = textwrap.dedent("""\
+            def derive(name):
+                a = hash(name)  # simlint: disable=DET004
+                b = EXPERIMENT_REGISTRY  # simlint: disable=all
+                return a, b
+        """)
+        fixed, fixes = fix_source(source)
+        assert fixes == []
+        assert fixed == source
+
+    def test_unparseable_source_returned_unchanged(self):
+        source = "def oops(:\n"
+        fixed, fixes = fix_source(source)
+        assert fixed == source
+        assert fixes == []
+
+    def test_rule_selection_limits_the_rewrites(self):
+        source = textwrap.dedent("""\
+            def derive(name):
+                return hash(name) + EXPERIMENT_REGISTRY["x"].seed
+        """)
+        fixed, fixes = fix_source(source, ("API001",))
+        assert {f.rule_id for f in fixes} == {"API001"}
+        assert "hash(name)" in fixed
+
+    def test_fix_paths_writes_in_place_and_skips_clean_files(
+        self, tmp_path
+    ):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x):\n    return hash(x)\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        changed = fix_paths([dirty, clean])
+        assert set(changed) == {str(dirty)}
+        assert "zlib.crc32" in dirty.read_text()
+        assert clean.read_text() == "VALUE = 1\n"

@@ -1,5 +1,5 @@
 """simflow rule tests: good + bad fixtures per FLOW rule, annotations,
-per-line suppressions, the v3 JSON schema (golden file) and baselines."""
+per-line suppressions, the v4 JSON schema (golden file) and baselines."""
 
 from __future__ import annotations
 
@@ -13,6 +13,7 @@ import pytest
 from repro.check import (
     FLOW_RULES,
     IP_RULES,
+    RACE_RULES,
     Baseline,
     apply_baseline,
     findings_to_json,
@@ -24,7 +25,7 @@ from repro.check import (
 from repro.check.engine import LintResult
 from repro.check.reporting import JSON_SCHEMA_VERSION
 
-GOLDEN = pathlib.Path(__file__).parent / "data" / "simlint_schema_v3.golden.json"
+GOLDEN = pathlib.Path(__file__).parent / "data" / "simlint_schema_v4.golden.json"
 
 
 def lint(source: str, module: str, rules: list[str] | None = None):
@@ -418,7 +419,7 @@ class TestFlowSuppressions:
 
 
 # ----------------------------------------------------------------------
-# JSON schema v3 (golden file) across both engines
+# JSON schema v4 (golden file) across the engines
 # ----------------------------------------------------------------------
 FIXTURE_BOTH_ENGINES = """\
 import time
@@ -447,21 +448,26 @@ def make_baselined_result() -> LintResult:
     return apply_baseline(result, baseline)
 
 
-class TestJsonSchemaV3:
+class TestJsonSchemaV4:
     def test_schema_version_bumped(self):
-        assert JSON_SCHEMA_VERSION == 3
+        assert JSON_SCHEMA_VERSION == 4
 
     def test_both_engines_report(self):
         document = json.loads(findings_to_json(make_dual_engine_result()))
         engines = {f["engine"] for f in document["findings"]}
         assert engines == {"ast", "flow"}
-        assert document["version"] == 3
+        assert document["version"] == 4
         assert set(document["engines"]["flow"]) == (
             set(FLOW_RULES) | set(IP_RULES)
         )
+        assert set(document["engines"]["race"]) == set(RACE_RULES)
         assert all(
             document["rules"][rule_id]["engine"] == "flow"
             for rule_id in (*FLOW_RULES, *IP_RULES)
+        )
+        assert all(
+            document["rules"][rule_id]["engine"] == "race"
+            for rule_id in RACE_RULES
         )
 
     def test_findings_carry_qualnames(self):

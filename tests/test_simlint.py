@@ -13,6 +13,7 @@ import pytest
 from repro.check import (
     FLOW_RULES,
     IP_RULES,
+    RACE_RULES,
     RULES,
     findings_to_json,
     lint_paths,
@@ -472,7 +473,7 @@ class TestReports:
         }
         assert finding["engine"] == "ast"
         assert set(document["rules"]) == (
-            set(RULES) | set(FLOW_RULES) | set(IP_RULES)
+            set(RULES) | set(FLOW_RULES) | set(IP_RULES) | set(RACE_RULES)
         )
 
     def test_human_report_mentions_location_and_rule(self):

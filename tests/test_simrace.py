@@ -1,0 +1,577 @@
+"""Unit tests for the simrace tier (ownership & determinism races).
+
+Covers the concurrency-model extraction (spawn sites, communication
+edges), the worker-root/reachability computation (task entry points,
+resolved spawn targets, ``@worker_entry``), the ownership lattice and
+``OWNERSHIP_FACTS`` lookups, and each RACE rule with one true-positive
+and one clean fixture — including the false-positive guards the
+pristine tree relies on (serial degradation, mutate-before-hand-off,
+``sorted(...)`` laundering, ``@owned_by_worker``).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.check import (
+    OWNERSHIP_FACTS,
+    RACE_RULES,
+    RaceAnalysis,
+    engine_of,
+    extract_facts,
+    lint_project,
+    summarize_function,
+)
+from repro.check.callgraph import CallGraph, iter_functions_with_qualnames
+from repro.check.engine import LintResult
+from repro.check.ip_rules import IpAnalysis
+from repro.check.race import (
+    PARENT_OWNED,
+    SHARED_READ_ONLY,
+    race003_findings,
+)
+
+
+def _path_for(module: str) -> str:
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def build_race_analysis(sources: dict[str, str]) -> RaceAnalysis:
+    modules = {}
+    locals_by_full = {}
+    for module, raw in sources.items():
+        source = textwrap.dedent(raw)
+        tree = ast.parse(source)
+        facts = extract_facts(tree, module, _path_for(module))
+        modules[module] = facts
+        for func, qual in iter_functions_with_qualnames(tree):
+            locals_by_full[f"{module}.{qual}"] = summarize_function(
+                func, qual, facts
+            )
+    return RaceAnalysis(IpAnalysis(CallGraph(modules), locals_by_full))
+
+
+def lint_modules(
+    sources: dict[str, str], rules: list[str] | None = None
+) -> LintResult:
+    return lint_project(
+        {
+            _path_for(module): textwrap.dedent(raw)
+            for module, raw in sources.items()
+        },
+        rule_ids=rules,
+    )
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    return [finding.rule_id for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Registry / engine plumbing
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_four_rules_registered(self):
+        assert set(RACE_RULES) == {
+            "RACE001", "RACE002", "RACE003", "RACE004",
+        }
+
+    def test_race_rules_map_to_race_engine(self):
+        assert all(engine_of(rule_id) == "race" for rule_id in RACE_RULES)
+
+    def test_scopes(self):
+        assert RACE_RULES["RACE003"].scope == "project"
+        for rule_id in ("RACE001", "RACE002", "RACE004"):
+            assert RACE_RULES[rule_id].scope == "function"
+
+    def test_applies_skips_check_package_and_foreign_code(self):
+        rule = RACE_RULES["RACE001"]
+        assert rule.applies("repro.runner.pool")
+        assert not rule.applies("repro.check.race")
+        assert not rule.applies("tests.test_simrace")
+
+
+# ----------------------------------------------------------------------
+# Concurrency model: spawns, comms, worker roots, reachability
+# ----------------------------------------------------------------------
+class TestRaceAnalysis:
+    SOURCES = {
+        "repro.runner.task": """
+            def execute_task(spec, seed):
+                return resolve(spec)
+
+            def resolve(spec):
+                return spec
+        """,
+        "repro.runner.pool": """
+            from repro.runner.task import execute_task
+
+            def _worker_main(conn, spec):
+                conn.send(("ok", execute_task(spec, 0)))
+
+            def start(ctx, conn, spec):
+                process = ctx.Process(
+                    target=_worker_main, args=(conn, spec)
+                )
+                process.start()
+                return process
+        """,
+        "repro.harness.driver": """
+            from repro.annotations import worker_entry
+
+            @worker_entry
+            def shard_entry(shard):
+                return shard
+
+            def orphan(x):
+                return x
+        """,
+    }
+
+    def analysis(self) -> RaceAnalysis:
+        return build_race_analysis(self.SOURCES)
+
+    def test_spawn_sites_extracted(self):
+        analysis = self.analysis()
+        kinds = {
+            (facts.module, spawn.kind, spawn.target)
+            for facts, spawn in analysis.spawns
+        }
+        assert (
+            "repro.runner.pool", "process", "_worker_main"
+        ) in kinds
+        # the in-pool direct call is the serial degradation
+        assert ("repro.runner.pool", "serial", "execute_task") in kinds
+
+    def test_comm_edges_extracted(self):
+        analysis = self.analysis()
+        sends = [
+            comm for facts, comm in analysis.comms if comm.kind == "send"
+        ]
+        assert sends and sends[0].caller == "_worker_main"
+
+    def test_worker_roots(self):
+        roots = self.analysis().worker_roots
+        assert "repro.runner.task.execute_task" in roots   # entry point
+        assert "repro.runner.pool._worker_main" in roots   # spawn target
+        assert "repro.harness.driver.shard_entry" in roots  # @worker_entry
+        assert "repro.harness.driver.orphan" not in roots
+
+    def test_reachability_closes_over_calls_with_witness(self):
+        reachable = self.analysis().worker_reachable
+        assert "repro.runner.task.resolve" in reachable
+        chain = reachable["repro.runner.task.resolve"]
+        assert chain[0] in self.analysis().worker_roots
+
+    def test_ownership_lattice(self):
+        analysis = self.analysis()
+        assert (
+            analysis.ownership_of("repro.attacks", "ALL_ATTACKS")
+            == SHARED_READ_ONLY
+        )
+        assert (
+            analysis.ownership_of("repro.runner.pool", "_CACHE")
+            == PARENT_OWNED
+        )
+
+    def test_ownership_facts_cover_only_known_registries(self):
+        for module, names in OWNERSHIP_FACTS.items():
+            assert module.startswith("repro.")
+            assert names, f"{module} declares no names"
+
+
+# ----------------------------------------------------------------------
+# RACE001 — parent mutates a captured payload after hand-off
+# ----------------------------------------------------------------------
+class TestRace001:
+    def test_submit_then_append(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run(executor, items):
+                    future = executor.submit(work, items)
+                    items.append(1)
+                    return future
+            """,
+        }, rules=["RACE001"])
+        assert rule_ids(result) == ["RACE001"]
+        assert "captured into a executor submit payload" in (
+            result.findings[0].message
+        )
+
+    def test_process_spawn_then_subscript_store(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def start(ctx, conn, payload):
+                    process = ctx.Process(
+                        target=_worker_main, args=(conn, payload)
+                    )
+                    process.start()
+                    payload["late"] = 1
+                    return process
+            """,
+        }, rules=["RACE001"])
+        assert rule_ids(result) == ["RACE001"]
+
+    def test_task_spec_construction_then_write(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                def build(params):
+                    spec = TaskSpec(params)
+                    params["target"] = "late"
+                    return spec
+            """,
+        }, rules=["RACE001"])
+        assert rule_ids(result) == ["RACE001"]
+
+    def test_mutation_before_hand_off_is_clean(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run(executor, items):
+                    items.append(1)
+                    return executor.submit(work, items)
+            """,
+        }, rules=["RACE001"])
+        assert result.findings == []
+
+    def test_serial_degradation_is_exempt(self):
+        # execute_task() runs in-process and returns before the parent
+        # resumes: mutating the spec afterwards is ordinary sequential
+        # code, not a race.
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run_serial(specs, results):
+                    for spec in specs:
+                        results[spec.task_id] = execute_task(spec, 0)
+                        spec.attempts += 1
+                    return results
+            """,
+        }, rules=["RACE001"])
+        assert result.findings == []
+
+    def test_rebinding_local_name_is_not_a_mutation(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run(executor, items):
+                    future = executor.submit(work, items)
+                    items = []
+                    return future, items
+            """,
+        }, rules=["RACE001"])
+        assert result.findings == []
+
+    def test_suppression_comment_respected(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run(executor, items):
+                    future = executor.submit(work, items)
+                    items.append(1)  # simlint: disable=RACE001
+                    return future
+            """,
+        }, rules=["RACE001"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# RACE002 — order-sensitive reduction over unordered completion
+# ----------------------------------------------------------------------
+class TestRace002:
+    def test_merge_loop_over_as_completed(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def collect(futures):
+                    merged = {}
+                    for future in as_completed(futures):
+                        merged[future.name] = future.result()
+                    return merged
+            """,
+        }, rules=["RACE002"])
+        assert rule_ids(result) == ["RACE002"]
+
+    def test_merge_loop_over_set_typed_name(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def collect(done):
+                    pending = {f for f in done if f.ready}
+                    out = []
+                    for item in pending:
+                        out.append(item.value)
+                    return out
+            """,
+        }, rules=["RACE002"])
+        assert rule_ids(result) == ["RACE002"]
+
+    def test_materializing_set_into_list(self):
+        result = lint_modules({
+            "repro.harness.fleet": """
+                def order(names):
+                    frozen = list({n for n in names})
+                    return frozen
+            """,
+        }, rules=["RACE002"])
+        assert rule_ids(result) == ["RACE002"]
+
+    def test_comprehension_over_unordered_stream(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def collect(futures):
+                    return [f.result() for f in as_completed(futures)]
+            """,
+        }, rules=["RACE002"])
+        assert rule_ids(result) == ["RACE002"]
+
+    def test_sorted_key_launders_the_order(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def collect(futures):
+                    merged = {}
+                    for future in sorted(
+                        as_completed(futures), key=lambda f: f.name
+                    ):
+                        merged[future.name] = future.result()
+                    return merged
+            """,
+        }, rules=["RACE002"])
+        assert result.findings == []
+
+    def test_set_typed_result_is_exempt(self):
+        # A SetComp *result* is order-free by construction: equality
+        # does not depend on iteration order.
+        result = lint_modules({
+            "repro.runner.pool": """
+                def names(futures):
+                    return {f.name for f in as_completed(futures)}
+            """,
+        }, rules=["RACE002"])
+        assert result.findings == []
+
+    def test_submission_indexed_collection_is_clean(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def collect(futures):
+                    results = [None] * len(futures)
+                    for index, future in enumerate(futures):
+                        results[index] = future.result()
+                    return results
+            """,
+        }, rules=["RACE002"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# RACE003 — undeclared worker reads of fork-inherited module state
+# ----------------------------------------------------------------------
+class TestRace003:
+    def test_undeclared_read_from_entry_point(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                _SPEC_CACHE = {}
+
+                def execute_task(spec, seed):
+                    return _SPEC_CACHE.get(spec)
+            """,
+        }, rules=["RACE003"])
+        assert rule_ids(result) == ["RACE003"]
+        message = result.findings[0].message
+        assert "repro.runner.task._SPEC_CACHE" in message
+        assert "OWNERSHIP_FACTS" in message
+        assert "[" in message  # witness chain
+
+    def test_cross_module_read_names_the_owner(self):
+        result = lint_modules({
+            "repro.harness.registry": """
+                TABLES = {}
+            """,
+            "repro.runner.task": """
+                from repro.harness.registry import TABLES
+
+                def execute_task(spec, seed):
+                    return TABLES[spec.name]
+            """,
+        }, rules=["RACE003"])
+        assert rule_ids(result) == ["RACE003"]
+        assert "repro.harness.registry.TABLES" in (
+            result.findings[0].message
+        )
+
+    def test_declared_registry_is_shared_read_only(self, monkeypatch):
+        monkeypatch.setitem(
+            OWNERSHIP_FACTS, "repro.runner.task", ("_SPEC_CACHE",)
+        )
+        result = lint_modules({
+            "repro.runner.task": """
+                _SPEC_CACHE = {}
+
+                def execute_task(spec, seed):
+                    return _SPEC_CACHE.get(spec)
+            """,
+        }, rules=["RACE003"])
+        assert result.findings == []
+
+    def test_parent_only_reads_are_not_flagged(self):
+        # collect() is not worker-reachable: no spawn targets it, it is
+        # not an entry point and carries no @worker_entry.
+        result = lint_modules({
+            "repro.harness.fleet": """
+                _PLANS = {}
+
+                def collect(name):
+                    return _PLANS.get(name)
+            """,
+        }, rules=["RACE003"])
+        assert result.findings == []
+
+    def test_owned_by_worker_annotation_skips_the_function(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                from repro.annotations import owned_by_worker
+
+                _LOCAL_SCRATCH = {}
+
+                @owned_by_worker
+                def execute_task(spec, seed):
+                    return _LOCAL_SCRATCH.get(spec)
+            """,
+        }, rules=["RACE003"])
+        assert result.findings == []
+
+    def test_project_checker_direct(self):
+        analysis = build_race_analysis({
+            "repro.runner.task": """
+                _SPEC_CACHE = {}
+
+                def execute_task(spec, seed):
+                    return _SPEC_CACHE.get(spec)
+            """,
+        })
+        findings = race003_findings(analysis)
+        assert [f.rule_id for f in findings] == ["RACE003"]
+        assert findings[0].module == "repro.runner.task"
+
+
+# ----------------------------------------------------------------------
+# RACE004 — nondeterministic/unpicklable payloads on comm edges
+# ----------------------------------------------------------------------
+class TestRace004:
+    def test_lambda_in_submit_payload(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run(executor, spec):
+                    return executor.submit(work, lambda: spec)
+            """,
+        }, rules=["RACE004"])
+        assert rule_ids(result) == ["RACE004"]
+        assert "lambda" in result.findings[0].message
+
+    def test_set_literal_through_pipe_send(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def _worker_main(conn, spec):
+                    conn.send(("ok", {spec.a, spec.b}))
+            """,
+        }, rules=["RACE004"])
+        assert rule_ids(result) == ["RACE004"]
+        assert "set-ordered" in result.findings[0].message
+
+    def test_open_handle_into_spawn_args(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def start(ctx, path):
+                    handle = open(path)
+                    return ctx.Process(
+                        target=_worker_main, args=(handle,)
+                    )
+            """,
+        }, rules=["RACE004"])
+        assert rule_ids(result) == ["RACE004"]
+        assert "open file handle" in result.findings[0].message
+
+    def test_id_address_in_task_spec(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                def build(params):
+                    return TaskSpec(task_id=id(params), params=params)
+            """,
+        }, rules=["RACE004"])
+        assert rule_ids(result) == ["RACE004"]
+        assert "id()" in result.findings[0].message
+
+    def test_unordered_summary_crosses_spec_edge_with_witness(self):
+        # freeze() returns set-ordered data; the hazard is detected at
+        # the TaskSpec construction site through the callee summary.
+        result = lint_modules({
+            "repro.runner.task": """
+                def freeze(items):
+                    return set(items)
+
+                def build(items):
+                    return TaskSpec(params=freeze(items))
+            """,
+        }, rules=["RACE004"])
+        assert rule_ids(result) == ["RACE004"]
+        assert "freeze" in result.findings[0].message  # witness chain
+
+    def test_sorted_wrapper_launders_set_order(self):
+        result = lint_modules({
+            "repro.runner.task": """
+                def build(items):
+                    return TaskSpec(params=sorted({i for i in items}))
+            """,
+        }, rules=["RACE004"])
+        assert result.findings == []
+
+    def test_plain_payload_is_clean(self):
+        result = lint_modules({
+            "repro.runner.pool": """
+                def _worker_main(conn, spec, seed):
+                    payload = execute_task(spec, seed)
+                    conn.send(("ok", payload, None))
+            """,
+        }, rules=["RACE004"])
+        assert result.findings == []
+
+    def test_serial_call_payload_is_exempt(self):
+        # Nothing is pickled on the serial path.
+        result = lint_modules({
+            "repro.runner.pool": """
+                def run_serial(spec):
+                    return execute_task(spec, id(spec))
+            """,
+        }, rules=["RACE004"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    MIXED = {
+        "repro.runner.pool": """
+            def run(executor, items):
+                future = executor.submit(work, items)
+                items.append(1)
+                merged = {}
+                for done in as_completed([future]):
+                    merged[done.name] = done.result()
+                return merged
+        """,
+    }
+
+    def test_full_run_reports_both_function_rules(self):
+        result = lint_modules(self.MIXED)
+        assert {"RACE001", "RACE002"} <= set(rule_ids(result))
+
+    def test_rule_selection_isolates_one_rule(self):
+        result = lint_modules(self.MIXED, rules=["RACE002"])
+        assert set(rule_ids(result)) == {"RACE002"}
+
+    def test_findings_are_globally_ordered(self):
+        result = lint_modules(self.MIXED)
+        keys = [
+            (f.path, f.line, f.rule_id, f.qualname) for f in result.findings
+        ]
+        assert keys == sorted(keys)
+
+    def test_race_findings_carry_race_engine_tag(self):
+        result = lint_modules(self.MIXED, rules=["RACE001"])
+        assert all(f.engine == "race" for f in result.findings)
