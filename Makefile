@@ -20,8 +20,9 @@ sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
 ## bench: perf gates (scan/physmem/e2e throughput, scan pass, runner,
-## lint, fleet scale).  REPRO_FLEET_TIER=smoke trims the fleet curves
-## to the 20k tier (what CI runs); unset runs 20k/100k/500k.
+## lint, fleet scale, shard scaling).  REPRO_FLEET_TIER=smoke trims
+## the fleet curves to the 20k tier (what CI runs); unset runs
+## 20k/100k/500k.
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks/test_scan_throughput.py \
 	    benchmarks/test_physmem_ops.py \
@@ -29,4 +30,5 @@ bench:
 	    benchmarks/test_scan_pass.py \
 	    benchmarks/test_runner_speedup.py \
 	    benchmarks/test_lint_throughput.py \
-	    benchmarks/test_fleet_scale.py
+	    benchmarks/test_fleet_scale.py \
+	    benchmarks/test_shard_scaling.py

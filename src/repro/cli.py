@@ -49,8 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="what to run (see --help for the grammar)")
     run.add_argument("--all", action="store_true", dest="select_all",
                      help="every experiment in the registry")
-    run.add_argument("--jobs", "-j", type=int, default=1,
-                     help="worker processes (default 1)")
+    run.add_argument("--jobs", "-j", type=int, default=None,
+                     help="worker processes (default: REPRO_JOBS or 1; "
+                          "0 = all cpus)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="worker processes per sharded fleet scenario "
+                          "(default: REPRO_SHARDS or 1; 0 = all cpus; "
+                          "results are byte-identical for any value)")
     run.add_argument("--out", default="results/run",
                      help="artifact directory (default results/run)")
     run.add_argument("--no-artifacts", action="store_true",
@@ -102,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--export-spec", default=None, metavar="FILE",
                        help="write the preset's ScenarioSpec JSON to FILE "
                             "('-' for stdout) and exit without running")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="worker processes executing the scenario's "
+                            "shard topology (default: REPRO_SHARDS or 1; "
+                            "0 = all cpus; results are byte-identical "
+                            "for any value)")
+    fleet.add_argument("--verbose", "-v", action="store_true",
+                       help="stream per-shard round/exchange progress "
+                            "(shard balance)")
 
     matrix = sub.add_parser("matrix", help="run the full Table 1 attack matrix")
     matrix.add_argument("--seed", type=int, default=1017)
@@ -170,6 +183,7 @@ def cmd_run(args) -> int:
         ProgressPrinter,
         RunnerConfig,
         expand_selectors,
+        resolve_jobs,
         run_tasks,
         write_artifacts,
     )
@@ -180,14 +194,18 @@ def cmd_run(args) -> int:
             select_all=args.select_all,
             scale="full" if args.full else "quick",
         )
+        jobs = resolve_jobs(args.jobs, default=1)
+        shard_workers = resolve_jobs(args.shards, env_var="REPRO_SHARDS",
+                                     default=1)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     config = RunnerConfig(
-        jobs=args.jobs,
+        jobs=jobs,
         timeout_s=args.timeout,
         max_retries=args.retries,
         force_serial=args.serial,
+        shard_workers=shard_workers,
     )
     results = run_tasks(tasks, root_seed=args.seed, config=config,
                         on_event=ProgressPrinter())
@@ -195,7 +213,7 @@ def cmd_run(args) -> int:
     print(format_run_summary(results))
     if not args.no_artifacts:
         manifest = write_artifacts(
-            args.out, results, root_seed=args.seed, jobs=args.jobs,
+            args.out, results, root_seed=args.seed, jobs=jobs,
             extra_meta={"selectors": list(args.selectors)
                         + (["all"] if args.select_all else [])},
         )
@@ -252,44 +270,56 @@ def _print_fleet_totals(name: str, system: str, totals: dict) -> None:
 def cmd_fleet(args) -> int:
     import pathlib
 
+    from repro.errors import ReproError
     from repro.harness.fleet import FLEET_PRESETS
     from repro.harness.spec import ScenarioSpec
+    from repro.runner import (
+        ProgressPrinter,
+        ShardPoolConfig,
+        resolve_jobs,
+        run_sharded,
+    )
 
+    try:
+        shard_workers = resolve_jobs(args.shards, env_var="REPRO_SHARDS",
+                                     default=1)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.spec is not None:
-        from repro.harness.fleet import FleetDriver
-
         try:
             spec = ScenarioSpec.from_json(
                 pathlib.Path(args.spec).read_text())
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        result = FleetDriver(spec).run()
-        _print_fleet_totals(spec.name, spec.system.label, result.totals)
-        return 0
-    if args.preset is None:
-        print("error: give a fleet preset or --spec FILE", file=sys.stderr)
-        return 2
-    scale = "full" if args.full else "quick"
-    if args.export_spec is not None:
+    else:
+        if args.preset is None:
+            print("error: give a fleet preset or --spec FILE",
+                  file=sys.stderr)
+            return 2
+        scale = "full" if args.full else "quick"
         spec = FLEET_PRESETS[args.preset].spec(
             system=args.system, scale=scale, seed=args.seed)
-        if args.export_spec == "-":
-            sys.stdout.write(spec.to_json())
-        else:
-            path = pathlib.Path(args.export_spec)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(spec.to_json())
-            print(f"spec written to {path}")
-        return 0
-    from repro.runner import TaskSpec
-
-    task = TaskSpec.fleet(args.preset, system=args.system, scale=scale)
-    outcome = _run_single(task, args.seed)
-    if not outcome.ok:
-        print(f"error: {outcome.error}", file=sys.stderr)
+        if args.export_spec is not None:
+            if args.export_spec == "-":
+                sys.stdout.write(spec.to_json())
+            else:
+                path = pathlib.Path(args.export_spec)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(spec.to_json())
+                print(f"spec written to {path}")
+            return 0
+    try:
+        result = run_sharded(
+            spec,
+            config=ShardPoolConfig(workers=shard_workers),
+            on_event=ProgressPrinter(verbose=args.verbose),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    _print_fleet_totals(args.preset, args.system, outcome.payload["totals"])
+    _print_fleet_totals(spec.name, spec.system.label, result.totals)
     return 0
 
 

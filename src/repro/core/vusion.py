@@ -375,6 +375,16 @@ class Vusion(FusionEngine):
     def incremental_stats(self) -> dict[str, int]:
         return self._inc.stats_dict() if self._inc is not None else {}
 
+    def shard_exportable_pfns(self) -> list[int]:
+        # Only fused (S xor F disciplined) node frames.  Accessible
+        # guest pages are never advertised: a cross-shard digest of a
+        # page the guest can still time writes against would hand a
+        # remote attacker exactly the disclosure oracle VUsion exists
+        # to close.  Fused nodes include fake merges, so the export
+        # itself is indistinguishable from real sharing — the same
+        # share-xor-fetch argument as on the local node.
+        return sorted(self._nodes_by_pfn)
+
     def sharing_pairs(self) -> tuple[int, int]:
         # One scan-kernel reduction over the stable pfns; monitors
         # sample this every tick, so it must not loop in Python.

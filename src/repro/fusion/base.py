@@ -208,6 +208,27 @@ class FusionEngine(ABC):
         return self.kernel.sanitizer.check_fusion_accounting(self)
 
     # ------------------------------------------------------------------
+    # Shard exchange (see repro.mem.shard)
+    # ------------------------------------------------------------------
+    def shard_exportable_pfns(self) -> list[int]:
+        """Frames whose digests this engine may advertise cross-shard.
+
+        The security boundary of the exchange protocol: only content
+        the engine has already made *shared and write-protected* on its
+        own node may be disclosed to the fabric.  Engines override this
+        with their merged-frame sets; the default (and the ``none``
+        engine) advertises nothing.
+        """
+        return []
+
+    def shard_export(self) -> list[tuple[int, int, int]]:
+        """``(digest, canonical pfn, holders)`` rows for one exchange
+        round, digest-sorted, computed in one batch-kernel sweep."""
+        if self.kernel is None:
+            return []
+        return self.kernel.physmem.digest_table(self.shard_exportable_pfns())
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def incremental_stats(self) -> dict[str, int]:

@@ -350,6 +350,12 @@ class Ksm(FusionEngine):
     def incremental_stats(self) -> dict[str, int]:
         return self._inc.stats_dict() if self._inc is not None else {}
 
+    def shard_exportable_pfns(self) -> list[int]:
+        # Stable-tree frames only: merged, write-protected content.
+        # Unstable candidates are still writable guest pages — their
+        # digests never leave the node.
+        return sorted(self._nodes_by_pfn)
+
     def sharing_pairs(self) -> tuple[int, int]:
         # One scan-kernel reduction over the stable pfns; monitors
         # sample this every tick, so it must not loop in Python.

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 from repro.fusion.base import FusionEngine, ScanCursor
 from repro.fusion.incremental import PURE, IncrementalScanCache
 from repro.kernel.idle import IdlePageTracker
-from repro.mem.content import PageContent, ZERO_PAGE
+from repro.mem.content import PageContent, ZERO_PAGE, content_digest
 from repro.mem.physmem import FrameType
 from repro.mmu.pte import PteFlags
 from repro.params import DEFAULT_FUSION, FusionConfig, MS
@@ -88,6 +88,10 @@ class CompressedStore:
 
     def references(self, content: PageContent) -> int:
         return self._refs.get(content, 0)
+
+    def contents(self) -> list[PageContent]:
+        """All combined payloads currently stored (export/diagnostics)."""
+        return list(self._blobs)
 
 
 class MemoryCombining(FusionEngine):
@@ -231,6 +235,21 @@ class MemoryCombining(FusionEngine):
 
     def sharing_pairs(self) -> tuple[int, int]:
         return len(self.store), len(self._evicted)
+
+    def shard_export(self) -> list[tuple[int, int, int]]:
+        """Advertise the compressed store, not resident frames.
+
+        Combined blobs live in kernel memory without a pfn; each row
+        uses its digest-sorted slot ordinal as the canonical "pfn", so
+        cross-shard ties still resolve deterministically by
+        ``(shard, slot)``.
+        """
+        rows = sorted(
+            (content_digest(content), self.store.references(content))
+            for content in self.store.contents()
+        )
+        return [(digest, slot, holders)
+                for slot, (digest, holders) in enumerate(rows)]
 
     def evicted_pages(self) -> int:
         return len(self._evicted)

@@ -330,6 +330,12 @@ class WindowsPageFusion(FusionEngine):
     def incremental_stats(self) -> dict[str, int]:
         return self._pass_cache.stats_dict() if self._pass_cache is not None else {}
 
+    def shard_exportable_pfns(self) -> list[int]:
+        # Combined frames only (the AVL trees' node pages): already
+        # shared read-only, so advertising their digests leaks nothing
+        # an attacker on another node could not infer from a merge.
+        return sorted(self._nodes_by_pfn)
+
     def sharing_pairs(self) -> tuple[int, int]:
         pages_shared = len(self._nodes_by_pfn)
         pages_sharing = (

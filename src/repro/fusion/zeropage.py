@@ -99,6 +99,14 @@ class ZeroPageFusion(FusionEngine):
         if walk is not None and walk.pte.fused:
             self.handle_fused_write(process, vaddr, walk)
 
+    def shard_exportable_pfns(self) -> list[int]:
+        # The pinned shared zero frame, once anyone maps it.  Every
+        # shard advertises the same digest, so the exchange elects
+        # shard 0's zero frame as the fabric-wide canonical holder.
+        if self._zero_frame is None or not self._zero_mappers:
+            return []
+        return [self._zero_frame]
+
     def sharing_pairs(self) -> tuple[int, int]:
         return (1, self._zero_mappers) if self._zero_mappers else (0, 0)
 

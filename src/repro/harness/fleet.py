@@ -207,12 +207,20 @@ class FleetDriver:
         spec: ScenarioSpec,
         scenario: Scenario | None = None,
         on_chunk=None,
+        plan: list[VmPlan] | None = None,
+        max_resident: int | None = None,
     ) -> None:
         self.spec = spec
         self.scenario = scenario or Scenario.from_spec(spec)
         self.on_chunk = on_chunk
         self.images = fleet_images(spec.fleet)
-        self.plan = generate_plan(spec)
+        #: ``plan``/``max_resident`` injection is how the shard driver
+        #: (repro.harness.shardfleet) runs one node's slice of the
+        #: global plan inside a smaller machine and residency window;
+        #: the defaults reproduce the serial driver exactly.
+        self.plan = generate_plan(spec) if plan is None else list(plan)
+        self.max_resident = (spec.fleet.max_resident
+                             if max_resident is None else max_resident)
         self.result = FleetResult()
         self.booted = 0
         self.retired = 0
@@ -363,7 +371,7 @@ class FleetDriver:
             while (
                 cursor < len(pending)
                 and pending[cursor].arrival_ns <= now
-                and len(self._resident) < spec.fleet.max_resident
+                and len(self._resident) < self.max_resident
                 and boots < schedule.boot_chunk
             ):
                 self._boot_one(pending[cursor], now)
@@ -438,6 +446,9 @@ class FleetPreset:
     fleet_full: FleetSpec
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
     frames: int = 32768
+    #: Logical NUMA shard topology of the scenario (semantic; worker
+    #: processes are a separate, result-neutral runner knob).
+    shards: int = 1
 
     def spec(self, system: str = "ksm", scale: str = "quick",
              seed: int = 1017) -> ScenarioSpec:
@@ -451,6 +462,7 @@ class FleetPreset:
             schedule=self.schedule,
             frames=self.frames,
             seed=seed,
+            shards=self.shards,
         )
 
 
@@ -466,6 +478,18 @@ FLEET_PRESETS: dict[str, FleetPreset] = {
                                  max_resident=6, lifetime_ns=2 * SECOND),
             schedule=ScheduleSpec(settle_ns=SECOND),
             frames=16384,
+        ),
+        FleetPreset(
+            name="smoke-sharded",
+            description="the smoke fleet on a 4-shard NUMA topology "
+                        "(CI shard-determinism scenario)",
+            fleet_quick=FleetSpec(vms=8, image_families=2, pages_per_vm=256,
+                                  max_resident=4, lifetime_ns=2 * SECOND),
+            fleet_full=FleetSpec(vms=16, image_families=2, pages_per_vm=256,
+                                 max_resident=8, lifetime_ns=2 * SECOND),
+            schedule=ScheduleSpec(settle_ns=SECOND),
+            frames=16384,
+            shards=4,
         ),
         FleetPreset(
             name="consolidation",

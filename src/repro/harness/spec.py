@@ -127,6 +127,13 @@ class ScenarioSpec:
     frames: int = 32768
     #: Root seed; all per-VM seeds derive from it (see :meth:`vm_seed`).
     seed: int = 1017
+    #: Logical NUMA-style shard topology (see :mod:`repro.mem.shard`).
+    #: Part of the scenario's *semantics* — each shard is an
+    #: independent node of ``frames // shards`` frames running its own
+    #: scan passes, stitched by the content-id exchange.  How many
+    #: worker processes execute the shards is a runner decision
+    #: (``--shards`` on the CLI) and never changes results.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "name must be non-empty")
@@ -134,14 +141,33 @@ class ScenarioSpec:
                  "system must be a SystemConfig")
         _require(self.frames >= 1024, "frames must be >= 1024")
         _require(self.seed >= 0, "seed must be >= 0")
+        _require(isinstance(self.shards, int) and self.shards >= 1,
+                 "shards must be an integer >= 1")
+        _require(self.frames % self.shards == 0,
+                 f"frames ({self.frames}) must divide evenly into "
+                 f"{self.shards} shard(s)")
+        _require(self.frames // self.shards >= 1024,
+                 f"per-shard frames ({self.frames // self.shards}) must be "
+                 ">= 1024; lower shards or raise frames")
         # The streaming window must fit the machine: peak co-resident
         # pages (plus THP/pool slack) cannot exceed physical frames.
-        resident = min(self.fleet.vms, self.fleet.max_resident)
+        # Under sharding the same must hold per node, with VMs dealt
+        # round-robin and the residency window split across shards.
+        shard_vms = -(-self.fleet.vms // self.shards)
+        resident = min(shard_vms, self.shard_max_resident)
         peak = resident * self.fleet.pages_per_vm
-        _require(peak <= self.frames,
-                 f"max co-resident pages ({peak}) exceed machine frames "
-                 f"({self.frames}); lower fleet.max_resident or "
-                 "fleet.pages_per_vm, or raise frames")
+        where = ("machine" if self.shards == 1
+                 else f"shard's ({self.frames // self.shards})")
+        _require(peak <= self.frames // self.shards,
+                 f"max co-resident pages ({peak}) exceed {where} frames; "
+                 "lower fleet.max_resident or fleet.pages_per_vm, or "
+                 "raise frames")
+
+    @property
+    def shard_max_resident(self) -> int:
+        """Per-shard residency window: the global window, split evenly
+        (rounded up) across shards."""
+        return max(1, -(-self.fleet.max_resident // self.shards))
 
     def with_(self, **overrides: Any) -> "ScenarioSpec":
         return replace(self, **overrides)
@@ -165,6 +191,7 @@ class ScenarioSpec:
             "schedule": asdict(self.schedule),
             "frames": self.frames,
             "seed": self.seed,
+            "shards": self.shards,
         }
 
     def to_json(self) -> str:
@@ -187,7 +214,7 @@ class ScenarioSpec:
         fleet = _load_section(FleetSpec, payload.pop("fleet", {}), "fleet")
         schedule = _load_section(ScheduleSpec, payload.pop("schedule", {}),
                                  "schedule")
-        known = {"name", "frames", "seed"}
+        known = {"name", "frames", "seed", "shards"}
         unknown = sorted(set(payload) - known)
         _require(not unknown, f"unknown key(s) {', '.join(unknown)}")
         _require("name" in payload, "missing required key 'name'")
@@ -198,6 +225,7 @@ class ScenarioSpec:
             schedule=schedule,
             frames=payload.get("frames", 32768),
             seed=payload.get("seed", 1017),
+            shards=payload.get("shards", 1),
         )
 
     @classmethod
@@ -228,6 +256,7 @@ class ScenarioSpec:
                 "schedule": "ScheduleSpec",
                 "frames": "int",
                 "seed": "int",
+                "shards": "int",
             },
             "system": section(SystemConfig),
             "fleet": section(FleetSpec),

@@ -154,6 +154,23 @@ class Kernel:
     def run_due_daemons(self) -> None:
         self.scheduler.run_due(self.clock.now)
 
+    def charge_service(self, name: str, ns: int) -> None:
+        """Book ``ns`` of simulated service to a daemon account without
+        advancing the clock.
+
+        For work that happens off the node's critical path — the shard
+        exchange ships its content-id tables over the interconnect
+        while guests keep running — the cost is real (it shows up in
+        ``daemon_ns`` and every ``scan_ns`` rollup) but it does not
+        stall the local timeline.
+        """
+        if ns < 0:
+            raise ValueError("service charge must be >= 0")
+        if ns:
+            self.stats.daemon_ns[name] = (
+                self.stats.daemon_ns.get(name, 0) + ns
+            )
+
     def idle(self, duration: int) -> None:
         """Let simulated time pass, running daemons as they come due."""
         deadline = self.clock.now + duration

@@ -181,5 +181,17 @@ class ContentArena:
         """All live cids, ascending (diagnostics and audits)."""
         return sorted(self._ids.values())
 
+    def cid_table(self) -> list[tuple[int, int, int]]:
+        """``(digest, cid, refcount)`` export of every live content.
+
+        Digest-sorted like a shard export table; the global ledger
+        audit cross-checks each shard's advertised holder counts
+        against this ground truth.
+        """
+        return sorted(
+            (self.digest(cid), cid, self._refcount[cid])
+            for cid in self._ids.values()
+        )
+
     def __len__(self) -> int:
         return len(self._ids)

@@ -379,6 +379,26 @@ class PhysicalMemory:
         """
         return self.scan_kernel.digest_sweep(pfns)
 
+    def digest_table(self, pfns) -> list[tuple[int, int, int]]:
+        """``(digest, canonical pfn, holders)`` rows for a shard export.
+
+        Duplicate digests among ``pfns`` collapse to their minimal pfn
+        with mapper counts (refcounts) summed — exactly the canonical
+        form :meth:`repro.mem.shard.ShardContentTable.build` would
+        produce, computed here in one :meth:`digests_many` sweep so the
+        batch scan kernel vectorizes the digest pass.
+        """
+        ordered = sorted(set(pfns))
+        rows: dict[int, tuple[int, int]] = {}
+        for pfn, digest in zip(ordered, self.digests_many(ordered)):
+            if digest in rows:
+                prev_pfn, holders = rows[digest]
+                rows[digest] = (prev_pfn, holders + self._refcount[pfn])
+            else:
+                rows[digest] = (pfn, self._refcount[pfn])
+        return [(digest, pfn, holders)
+                for digest, (pfn, holders) in sorted(rows.items())]
+
     def generation(self, pfn: int) -> int:
         """Mutation generation of ``pfn``.
 

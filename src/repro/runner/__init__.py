@@ -8,25 +8,40 @@ The public surface every sweep uses:
 * :func:`run_tasks` / :class:`RunnerConfig` — the multiprocessing pool
   with per-task timeouts, bounded retry and serial degradation.
 * :func:`derive_seed` — deterministic per-task seeding.
+* :func:`resolve_jobs` — the one worker-count rule (explicit flag,
+  then environment, then default) shared by every CLI entry point.
+* :func:`run_sharded` / :class:`ShardPoolConfig` — intra-scenario
+  shard workers (see :mod:`repro.runner.shardpool`).
 * :func:`write_artifacts` — JSON artifacts under ``results/``.
 * :class:`ProgressPrinter` and the event dataclasses in
   :mod:`repro.runner.progress`.
 """
 
 from repro.runner.artifacts import canonical_json, sanitize, write_artifacts
-from repro.runner.pool import RunnerConfig, TaskPool, TaskResult, run_tasks
+from repro.runner.pool import (
+    RunnerConfig,
+    TaskPool,
+    TaskResult,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.runner.progress import (
     PoolDegraded,
     ProgressPrinter,
     RunCompleted,
     RunnerEvent,
     RunStarted,
+    ShardExchangeResolved,
+    ShardPoolDegraded,
+    ShardRoundCompleted,
+    ShardWorkerRetrying,
     TaskFinished,
     TaskRetrying,
     TaskStarted,
 )
 from repro.runner.seeds import derive_seed
 from repro.runner.select import MATRIX_ENGINES, expand_selectors
+from repro.runner.shardpool import ShardPool, ShardPoolConfig, run_sharded
 from repro.runner.task import TaskSpec, execute_task
 
 __all__ = [
@@ -37,6 +52,12 @@ __all__ = [
     "RunnerConfig",
     "RunnerEvent",
     "RunStarted",
+    "ShardExchangeResolved",
+    "ShardPool",
+    "ShardPoolConfig",
+    "ShardPoolDegraded",
+    "ShardRoundCompleted",
+    "ShardWorkerRetrying",
     "TaskFinished",
     "TaskPool",
     "TaskResult",
@@ -47,6 +68,8 @@ __all__ = [
     "derive_seed",
     "execute_task",
     "expand_selectors",
+    "resolve_jobs",
+    "run_sharded",
     "run_tasks",
     "sanitize",
     "write_artifacts",

@@ -22,6 +22,7 @@ Results are returned in submission order, never completion order.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -54,6 +55,44 @@ class RunnerConfig:
     start_method: str | None = None
     #: Skip the pool entirely and run in-process (also the degraded mode).
     force_serial: bool = False
+    #: Worker processes per *sharded scenario* (``spec.shards > 1``
+    #: fleet tasks; see repro.runner.shardpool).  Execution policy
+    #: only — artifacts are byte-identical for any value.
+    shard_workers: int = 1
+
+
+def resolve_jobs(explicit: int | None = None, *,
+                 env_var: str = "REPRO_JOBS",
+                 env: dict | None = None,
+                 default: int | None = 1) -> int:
+    """One rule for every worker count (``--jobs``, ``--shards``).
+
+    Priority: the explicit CLI value, then the environment variable,
+    then ``default``.  A value of ``0`` from any source — or a
+    ``default`` of ``None`` — resolves to the host cpu count.  Raises
+    ``ValueError`` on malformed or negative inputs, so every entry
+    point rejects bad worker counts identically instead of re-deriving
+    its own rule.
+    """
+    value = explicit
+    source = "worker count"
+    if value is None:
+        raw = (os.environ if env is None else env).get(env_var)
+        if raw is not None:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{env_var} must be an integer, got {raw!r}"
+                ) from None
+            source = env_var
+    if value is None:
+        value = 0 if default is None else default
+    if value == 0:
+        value = os.cpu_count() or 1
+    if value < 1:
+        raise ValueError(f"{source} must be >= 1 (got {value})")
+    return value
 
 
 @dataclass
@@ -85,10 +124,12 @@ class TaskResult:
 
 
 @worker_entry
-def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int) -> None:
+def _worker_main(conn, spec: TaskSpec, seed: int, attempt: int,
+                 shard_workers: int = 1) -> None:
     """Child entry point: run the task, ship the payload back, exit."""
     try:
-        payload = execute_task(spec, seed, attempt=attempt)
+        payload = execute_task(spec, seed, attempt=attempt,
+                               shard_workers=shard_workers)
         conn.send(("ok", payload, None))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
         # Structured checker errors (FrameSan, simlint) carry a one-line
@@ -262,7 +303,8 @@ class TaskPool:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.tasks[index], self.seeds[index], attempt),
+            args=(child_conn, self.tasks[index], self.seeds[index], attempt,
+                  self.config.shard_workers),
             daemon=True,
         )
         process.start()
@@ -388,8 +430,11 @@ class TaskPool:
             while True:
                 self._note_started(index, attempt)
                 try:
-                    payload = execute_task(self.tasks[index],
-                                           self.seeds[index], attempt=attempt)
+                    payload = execute_task(
+                        self.tasks[index], self.seeds[index],
+                        attempt=attempt,
+                        shard_workers=self.config.shard_workers,
+                    )
                 except Exception as exc:
                     detail = f"{type(exc).__name__}: {exc}"
                     diagnostic = getattr(exc, "diagnostic", None)

@@ -65,11 +65,61 @@ class RunCompleted(RunnerEvent):
     duration_s: float
 
 
+@dataclass(frozen=True)
+class ShardRoundCompleted(RunnerEvent):
+    """One shard finished an exchange round (a sample boundary)."""
+
+    scenario: str
+    shard: int
+    round_no: int
+    exported_cids: int
+    booted: int
+    resident: int
+
+
+@dataclass(frozen=True)
+class ShardExchangeResolved(RunnerEvent):
+    """The coordinator resolved one round's content-id exchange."""
+
+    scenario: str
+    round_no: int
+    shards: int
+    exchanged_cids: int
+    intents_applied: int
+    stale_dropped: int
+
+
+@dataclass(frozen=True)
+class ShardWorkerRetrying(RunnerEvent):
+    """A shard worker failed; its shards rerun in a fresh process."""
+
+    scenario: str
+    shards: tuple[int, ...]
+    reason: str           #: "crashed" | "timeout" | "error"
+    attempt: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ShardPoolDegraded(RunnerEvent):
+    """The shard pool gave up; remaining shards run serially."""
+
+    scenario: str
+    reason: str
+
+
 @dataclass
 class ProgressPrinter:
-    """Render runner events as one-line progress messages."""
+    """Render runner events as one-line progress messages.
+
+    Shard-level events (per-round exports, exchange resolutions) are
+    chatty — one line per shard per sample — so they only print when
+    ``verbose`` is set (``repro fleet -v``); the shard balance summary
+    they carry is exactly what the flag exists to show.
+    """
 
     stream: object = None
+    verbose: bool = False
     finished: int = field(default=0, init=False)
 
     def _print(self, message: str) -> None:
@@ -101,6 +151,31 @@ class ProgressPrinter:
         elif isinstance(event, PoolDegraded):
             self._print(f"runner: pool degraded, falling back to serial "
                         f"({event.reason})")
+        elif isinstance(event, ShardRoundCompleted):
+            if self.verbose:
+                self._print(
+                    f"  shard {event.shard} round {event.round_no}: "
+                    f"{event.exported_cids} cid(s) exported, "
+                    f"{event.booted} booted, {event.resident} resident"
+                )
+        elif isinstance(event, ShardExchangeResolved):
+            if self.verbose:
+                self._print(
+                    f"  exchange round {event.round_no}: "
+                    f"{event.exchanged_cids} cid(s) over {event.shards} "
+                    f"shard(s), {event.intents_applied} merge intent(s) "
+                    f"applied, {event.stale_dropped} stale dropped"
+                )
+        elif isinstance(event, ShardWorkerRetrying):
+            self._print(
+                f"  shard worker retry: shards {list(event.shards)} "
+                f"{event.reason}, attempt {event.attempt + 1}"
+            )
+        elif isinstance(event, ShardPoolDegraded):
+            self._print(
+                f"runner: shard pool degraded, rerunning "
+                f"{event.scenario} serially ({event.reason})"
+            )
         elif isinstance(event, RunCompleted):
             self._print(
                 f"runner: {event.ok}/{event.total} ok, {event.failed} failed "

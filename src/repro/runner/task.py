@@ -162,13 +162,18 @@ def _run_attack(spec: TaskSpec, seed: int) -> dict:
 
 
 @artifact_boundary
-def _run_fleet(spec: TaskSpec, seed: int) -> dict:
-    from repro.harness.fleet import FLEET_PRESETS, FleetDriver
+def _run_fleet(spec: TaskSpec, seed: int, shard_workers: int = 1) -> dict:
+    from repro.harness.fleet import FLEET_PRESETS
+    from repro.runner.shardpool import ShardPoolConfig, run_sharded
 
     scenario_spec = FLEET_PRESETS[spec.name].spec(
         system=spec.param("system"), scale=spec.scale, seed=seed,
     )
-    result = FleetDriver(scenario_spec).run()
+    # ``shard_workers`` is execution policy (how many processes run the
+    # spec's shard topology), so it must never reach the payload: the
+    # byte-identity contract across --shards values depends on it.
+    result = run_sharded(scenario_spec,
+                         config=ShardPoolConfig(workers=shard_workers))
     return {
         "type": "fleet",
         "preset": spec.name,
@@ -210,17 +215,20 @@ def _run_selftest(spec: TaskSpec, seed: int, attempt: int) -> dict:
     }
 
 
-def execute_task(spec: TaskSpec, seed: int, attempt: int = 0) -> dict:
+def execute_task(spec: TaskSpec, seed: int, attempt: int = 0, *,
+                 shard_workers: int = 1) -> dict:
     """Run one task and return its canonical payload.
 
     Pure in ``(spec, seed)`` for experiments and attacks — ``attempt``
     only influences the self-test kind, so retries of real work always
-    reproduce the first attempt's result.
+    reproduce the first attempt's result, and ``shard_workers`` (the
+    process count executing a sharded fleet scenario) never changes a
+    payload byte.
     """
     if spec.kind == "experiment":
         return _run_experiment(spec, seed)
     if spec.kind == "attack":
         return _run_attack(spec, seed)
     if spec.kind == "fleet":
-        return _run_fleet(spec, seed)
+        return _run_fleet(spec, seed, shard_workers=shard_workers)
     return _run_selftest(spec, seed, attempt)

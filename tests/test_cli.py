@@ -33,7 +33,10 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "fig3", "tag:quick"])
         assert args.selectors == ["fig3", "tag:quick"]
-        assert args.jobs == 1
+        # jobs/shards stay None at parse time; resolve_jobs() applies
+        # REPRO_JOBS/REPRO_SHARDS and the default of 1 afterwards.
+        assert args.jobs is None
+        assert args.shards is None
         assert args.out == "results/run"
         assert not args.select_all
 

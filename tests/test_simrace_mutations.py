@@ -71,12 +71,14 @@ MUTANTS = [
             "        process = ctx.Process(\n"
             "            target=_worker_main,\n"
             "            args=(child_conn, self.tasks[index], "
-            "self.seeds[index], attempt),\n"
+            "self.seeds[index], attempt,\n"
+            "                  self.config.shard_workers),\n"
             "            daemon=True,\n"
             "        )\n"
             "        process.start()\n",
             "        payload = [child_conn, self.tasks[index], "
-            "self.seeds[index], attempt]\n"
+            "self.seeds[index], attempt,\n"
+            "                   self.config.shard_workers]\n"
             "        process = ctx.Process(\n"
             "            target=_worker_main,\n"
             "            args=payload,\n"
@@ -177,9 +179,11 @@ MUTANTS = [
     pytest.param(
         POOL,
         [(
-            "        payload = execute_task(spec, seed, attempt=attempt)\n"
+            "        payload = execute_task(spec, seed, attempt=attempt,\n"
+            "                               shard_workers=shard_workers)\n"
             "        conn.send((\"ok\", payload, None))\n",
-            "        payload = execute_task(spec, seed, attempt=attempt)\n"
+            "        payload = execute_task(spec, seed, attempt=attempt,\n"
+            "                               shard_workers=shard_workers)\n"
             "        trace = open(\"/dev/null\", \"w\")\n"
             "        conn.send((\"ok\", payload, trace))\n",
         )],
@@ -191,10 +195,12 @@ MUTANTS = [
         [(
             "            target=_worker_main,\n"
             "            args=(child_conn, self.tasks[index], "
-            "self.seeds[index], attempt),\n",
+            "self.seeds[index], attempt,\n"
+            "                  self.config.shard_workers),\n",
             "            target=lambda: _worker_main(\n"
             "                child_conn, self.tasks[index], "
-            "self.seeds[index], attempt\n"
+            "self.seeds[index], attempt,\n"
+            "                self.config.shard_workers\n"
             "            ),\n",
         )],
         "RACE004",
